@@ -1,0 +1,43 @@
+"""Shared machinery for the reproduction benches.
+
+Every bench regenerates one of the paper's reported artefacts (see
+DESIGN.md's experiment index).  Full experiments are expensive relative to
+microbenchmarks, so experiment benches run ONCE inside
+``benchmark.pedantic`` and attach their tables to ``extra_info``; the
+assertions check the paper's *shape* (who wins, by what rough factor),
+not absolute numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.internet.churn import ChurnConfig
+from repro.testbed.scenario import ScenarioConfig
+from repro.topology.generator import GeneratorConfig
+
+#: The standard bench world: ~120 ASes, full monitoring, default churn.
+BENCH_TOPOLOGY = GeneratorConfig(num_tier1=5, num_tier2=25, num_stubs=90)
+
+#: Lighter churn for multi-hour baseline simulations (the batch/operator
+#: delays dominate there; heavy churn would only burn wall-clock).
+LIGHT_CHURN = ChurnConfig(pool_size=15, event_rate=0.05)
+
+
+def bench_scenario(**overrides) -> ScenarioConfig:
+    defaults = dict(topology=BENCH_TOPOLOGY)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer, return its result."""
+    holder = {}
+
+    def wrapper():
+        holder["result"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    return holder["result"]

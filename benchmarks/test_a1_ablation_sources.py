@@ -1,0 +1,72 @@
+"""A1 — ablation of the multi-source combination (design choice, §2).
+
+ARTEMIS combines Periscope + RIS + BGPmon so the detection delay is the min
+over sources.  This ablation removes one source at a time *at the
+subscription level* — the monitoring infrastructure stays deployed, so the
+simulated world is bit-identical across configurations and per-seed
+comparisons are exact, not statistical.
+
+Shape: for every seed, the full combination detects no later than any
+ablated configuration, and at least one ablation is strictly slower in
+aggregate.
+"""
+
+from conftest import bench_scenario, run_once
+
+from repro.eval.experiments import run_artemis_suite
+from repro.eval.report import format_table
+from repro.eval.stats import summarize
+
+SEEDS = range(5)
+
+CONFIGS = {
+    "all sources": ("bgpmon", "periscope", "ris"),
+    "without RIS": ("bgpmon", "periscope"),
+    "without BGPmon": ("periscope", "ris"),
+    "without Periscope": ("bgpmon", "ris"),
+}
+
+
+def _run_ablation():
+    table = {}
+    for label, sources in CONFIGS.items():
+        template = bench_scenario(
+            enabled_sources=sources, detection_timeout=1800.0
+        )
+        results = run_artemis_suite(template, seeds=SEEDS)
+        table[label] = [r.detection_delay for r in results]
+    return table
+
+
+def test_a1_ablation_sources(benchmark):
+    per_config = run_once(benchmark, _run_ablation)
+    summaries = {label: summarize(values) for label, values in per_config.items()}
+    table = format_table(
+        ["configuration", "n detected", "mean detect (s)", "max detect (s)"],
+        [
+            [label, summary.count, summary.mean, summary.maximum]
+            for label, summary in summaries.items()
+        ],
+        title="A1: detection delay with one source removed (identical worlds)",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    full_delays = per_config["all sources"]
+    assert all(delay is not None for delay in full_delays)
+    degraded = False
+    for label, delays in per_config.items():
+        if label == "all sources":
+            continue
+        for full, ablated in zip(full_delays, delays):
+            if ablated is None:
+                # The removed source was the only witness: a complete miss,
+                # the strongest form of degradation.
+                degraded = True
+                continue
+            # Exact per-seed dominance: identical worlds, min-combination.
+            assert full <= ablated + 1e-9, label
+            if full < ablated:
+                degraded = True
+    # At least one source is load-bearing for speed or coverage.
+    assert degraded

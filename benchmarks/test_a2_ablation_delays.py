@@ -1,0 +1,69 @@
+"""A2 — ablation of the timing calibration (MRAI / per-hop delays).
+
+DESIGN.md calls out the calibration of per-router processing and MRAI as
+the knob that turns a graph flood into realistic minutes-scale convergence.
+This ablation sweeps the MRAI band and verifies the causal story: a larger
+MRAI stretches mitigation *completion* (the max-over-routers wave) much
+more than it stretches *detection* (a min-over-vantages race that the
+first, unthrottled wave usually wins).
+"""
+
+from conftest import bench_scenario, run_once
+
+from repro.eval.experiments import run_artemis_suite
+from repro.eval.report import format_table
+from repro.eval.stats import summarize
+from repro.internet.network import NetworkConfig
+from repro.sim.latency import Uniform
+
+SEEDS = range(3)
+
+MRAI_BANDS = [
+    ("MRAI 5-15s", Uniform(5.0, 15.0)),
+    ("MRAI 30-90s (default)", Uniform(30.0, 90.0)),
+    ("MRAI 60-180s", Uniform(60.0, 180.0)),
+]
+
+
+def _run_sweep():
+    rows = []
+    for label, mrai in MRAI_BANDS:
+        template = bench_scenario(
+            network=NetworkConfig(mrai=mrai),
+            completion_timeout=7200.0,
+        )
+        results = run_artemis_suite(template, seeds=SEEDS)
+        rows.append(
+            {
+                "label": label,
+                "detect": summarize(r.detection_delay for r in results),
+                "complete": summarize(r.completion_delay for r in results),
+                "mitigated": sum(1 for r in results if r.mitigated),
+            }
+        )
+    return rows
+
+
+def test_a2_ablation_delays(benchmark):
+    rows = run_once(benchmark, _run_sweep)
+    table = format_table(
+        ["configuration", "mean detect (s)", "mean complete (s)", "mitigated"],
+        [
+            [r["label"], r["detect"].mean, r["complete"].mean, r["mitigated"]]
+            for r in rows
+        ],
+        title="A2: MRAI band vs detection and completion delay",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    assert all(r["mitigated"] == len(list(SEEDS)) for r in rows)
+    completes = [r["complete"].mean for r in rows]
+    # Completion stretches monotonically with the MRAI band.
+    assert completes == sorted(completes)
+    assert completes[-1] > 1.5 * completes[0]
+    # Detection is far less sensitive: even the widest band must not blow
+    # detection up by the factor completion grows by.
+    detect_growth = rows[-1]["detect"].mean / max(1e-9, rows[0]["detect"].mean)
+    complete_growth = completes[-1] / max(1e-9, completes[0])
+    assert detect_growth < complete_growth

@@ -1,0 +1,67 @@
+"""E6 — §2 limitation: de-aggregation does not protect /24s.
+
+"Prefix de-aggregation is effective for hijacks of IP address prefixes
+larger than /24, but it might not work for /24 prefixes, as BGP
+advertisements of prefixes smaller than /24 are filtered by some ISPs."
+
+Regenerates the comparison: the same hijack against an owned /23 (ARTEMIS
+de-aggregates into /24s → full recovery) versus an owned /24 (ISPs filter
+/25s, ARTEMIS falls back to a competitive re-announcement → partial
+recovery at best).
+"""
+
+from conftest import bench_scenario, run_once
+
+from repro.eval.experiments import run_artemis_suite
+from repro.eval.report import format_table
+from repro.eval.stats import summarize
+
+SEEDS = range(4)
+
+
+def _run_both():
+    slash23 = run_artemis_suite(
+        bench_scenario(prefix="10.0.0.0/23"), seeds=SEEDS
+    )
+    slash24 = run_artemis_suite(
+        bench_scenario(prefix="10.0.0.0/24", observation_window=300.0),
+        seeds=SEEDS,
+    )
+    return {"/23 owned": slash23, "/24 owned": slash24}
+
+
+def test_e6_slash24_limit(benchmark):
+    results = run_once(benchmark, _run_both)
+    rows = []
+    for label, runs in results.items():
+        residual = summarize(r.residual_hijack_fraction for r in runs)
+        rows.append(
+            [
+                label,
+                runs[0].strategy,
+                sum(1 for r in runs if r.mitigated),
+                len(runs),
+                residual.mean * 100,
+            ]
+        )
+    table = format_table(
+        ["owned prefix", "strategy", "fully recovered", "runs", "mean residual hijacked (%)"],
+        rows,
+        title="E6: de-aggregation works above /24, not at /24",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    slash23, slash24 = results["/23 owned"], results["/24 owned"]
+    # /23: de-aggregation, full recovery, zero residual.
+    assert all(r.strategy == "deaggregate" for r in slash23)
+    assert all(r.mitigated for r in slash23)
+    assert all(r.residual_hijack_fraction == 0.0 for r in slash23)
+    # /24: competitive fallback; detection still works, recovery does not
+    # complete (the filtered /25s never propagate).
+    assert all(r.strategy == "compete" for r in slash24)
+    assert all(r.detection_delay is not None for r in slash24)
+    assert not any(r.mitigated for r in slash24)
+    assert summarize(r.residual_hijack_fraction for r in slash24).mean > 0.0
+    # And the /25s really are absent from every other AS's RIB: checked at
+    # unit level (tests/test_network.py::test_slash24_deaggregation_filtered).

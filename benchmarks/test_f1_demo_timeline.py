@@ -1,0 +1,70 @@
+"""F1 — §4, the demo itself: real-time visualisation of hijack and recovery.
+
+"Using the monitoring service of ARTEMIS, we will visualize in real-time
+how the hijacking incident propagates in the Internet, turning affected
+networks into the illegitimate AS.  This, as well as the effect of the
+mitigation, will be demonstrated with a geographical visualization of
+vantage points around the globe that select the (il-)legitimate origin-AS."
+
+Regenerates both curves of the demo for one experiment:
+
+* the ground-truth fraction of ASes routing to the legitimate origin
+  (dips when the hijack spreads, returns to 1.0 after mitigation), and
+* the monitoring service's vantage-point view of the same recovery,
+
+plus the geographic frame sequence the demo projects on a map.
+"""
+
+from conftest import bench_scenario, run_once
+
+from repro.eval.report import format_series
+from repro.testbed.scenario import HijackExperiment
+from repro.viz.geomap import GeoMapRenderer
+
+
+def _run():
+    experiment = HijackExperiment(bench_scenario(seed=16))
+    result = experiment.run()
+    return experiment, result
+
+
+def test_f1_demo_timeline(benchmark):
+    experiment, result = run_once(benchmark, _run)
+
+    truth = result.ground_truth_series
+    monitor = result.monitor_series
+    print("\n" + format_series(truth, title="F1 ground truth: fraction legit"))
+    print("\n" + format_series(monitor, title="F1 monitoring view: fraction legit"))
+    benchmark.extra_info["ground_truth_points"] = len(truth)
+    benchmark.extra_info["monitor_points"] = len(monitor)
+
+    # The ground-truth curve dips during the hijack and fully recovers.
+    truth_values = [v for _t, v in truth]
+    assert truth_values[0] == 1.0, "phase-1 ends fully legitimate"
+    assert min(truth_values) < 1.0, "the hijack must visibly spread"
+    assert result.hijack_fraction_peak > 0.0
+    assert truth_values[-1] == 1.0, "mitigation restores everyone"
+
+    # The monitoring view mirrors the same story from feed data alone.
+    monitor_values = [v for _t, v in monitor]
+    assert min(monitor_values) < 1.0
+    assert monitor_values[-1] == 1.0
+
+    # Geographic frames: some vantage flips to hijacked and back.
+    renderer = GeoMapRenderer(
+        experiment.network.graph, legit_origins={experiment.victim.asn}
+    )
+    frames = renderer.frames_from_transitions(
+        experiment.artemis.monitoring.transitions, max_frames=8
+    )
+    assert len(frames) >= 2
+    states_over_time = [
+        {s["asn"]: s["state"] for s in renderer.vantage_states(origins)}
+        for _when, origins in frames
+    ]
+    ever_hijacked = any(
+        "hijacked" in states.values() for states in states_over_time
+    )
+    assert ever_hijacked, "the map must show at least one vantage flipping"
+    assert "hijacked" not in states_over_time[-1].values(), "final frame clean"
+    print(f"\nrendered {len(frames)} map frames; final frame all-legit")

@@ -1,0 +1,102 @@
+"""Performance microbenchmarks of the substrate hot paths.
+
+Not a paper artefact — these guard the simulator's own performance (the
+reproduction suites run hundreds of full experiments, so trie lookups,
+the decision process, and event dispatch must stay cheap).
+"""
+
+import pytest
+
+from repro.bgp.decision import select_best
+from repro.bgp.route import Route
+from repro.net.prefix import Address, Prefix
+from repro.net.trie import PrefixTrie
+from repro.sim.engine import Engine
+from repro.sim.rng import SeededRNG
+from repro.testbed.scenario import HijackExperiment, ScenarioConfig
+from repro.topology.generator import GeneratorConfig
+
+
+def test_perf_prefix_parse(benchmark):
+    benchmark(Prefix.parse, "203.0.113.0/24")
+
+
+def test_perf_trie_longest_match(benchmark):
+    rng = SeededRNG(0)
+    trie = PrefixTrie()
+    for _ in range(10_000):
+        value = rng.getrandbits(32)
+        length = rng.randint(8, 24)
+        trie[Prefix(value, length, 4)] = value
+    probe = Address(rng.getrandbits(32), 4)
+    benchmark(trie.longest_match, probe)
+
+
+def test_perf_trie_insert_remove(benchmark):
+    rng = SeededRNG(1)
+    prefixes = [
+        Prefix(rng.getrandbits(32), rng.randint(8, 24), 4) for _ in range(500)
+    ]
+
+    def cycle():
+        trie = PrefixTrie()
+        for prefix in prefixes:
+            trie[prefix] = 1
+        for prefix in prefixes:
+            if prefix in trie:
+                trie.remove(prefix)
+
+    benchmark(cycle)
+
+
+def test_perf_decision_process(benchmark):
+    prefix = Prefix.parse("10.0.0.0/23")
+    rng = SeededRNG(2)
+    candidates = [
+        Route(
+            prefix,
+            tuple(rng.randint(1, 65000) for _ in range(rng.randint(2, 6))),
+            peer_asn=peer,
+            local_pref=rng.choice([100, 200, 300]),
+            learned_at=float(peer),
+        )
+        for peer in range(1, 33)
+    ]
+    benchmark(select_best, candidates)
+
+
+def test_perf_engine_event_throughput(benchmark):
+    def run_10k():
+        engine = Engine()
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                engine.schedule(0.001, tick)
+
+        engine.schedule(0.001, tick)
+        engine.run()
+
+    benchmark(run_10k)
+
+
+def test_perf_full_experiment_small(benchmark):
+    """End-to-end cost of one small (churn-free) hijack experiment."""
+
+    def run():
+        config = ScenarioConfig(
+            seed=5,
+            topology=GeneratorConfig(num_tier1=3, num_tier2=10, num_stubs=25),
+            churn=None,
+            churn_warmup=0.0,
+            baseline_settle=60.0,
+            monitors=dict(
+                num_ris_vantages=6, num_bgpmon_vantages=4, num_lgs=4,
+                lg_poll_interval=30.0, num_batch_vantages=4,
+            ),
+        )
+        result = HijackExperiment(config).run()
+        assert result.mitigated
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,73 @@
+"""Standard pipeline factories for :class:`~repro.baselines.runner.BaselineExperiment`.
+
+Each factory receives the fully set-up experiment plus the ground-truth
+config and returns ``(pipeline, feed_sources)``:
+
+* :func:`phas_factory` — PHAS on 15-minute batch update files;
+* :func:`ribdump_factory` — origin checking on 2-hour RIB dumps only;
+* :func:`argus_factory` — Argus on the live BGPmon stream (fast detection,
+  manual response).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.baselines.thirdparty import (
+    ArgusBaseline,
+    PhasBaseline,
+    RibDumpBaseline,
+    ThirdPartyPipeline,
+)
+from repro.core.config import ArtemisConfig
+from repro.feeds.batch import BatchArchive
+from repro.sim.rng import SeededRNG
+from repro.testbed.scenario import HijackExperiment
+
+
+def _rng(experiment: HijackExperiment, name: str) -> SeededRNG:
+    return SeededRNG(experiment.config.seed).substream("baseline", name)
+
+
+def phas_factory(
+    experiment: HijackExperiment, config: ArtemisConfig
+) -> Tuple[ThirdPartyPipeline, List]:
+    """PHAS-style: 15-minute update archives + default operator."""
+    pipeline = PhasBaseline(
+        experiment.network.engine, config, rng=_rng(experiment, "phas")
+    )
+    return pipeline, [experiment.monitors.batch]
+
+
+def ribdump_factory(
+    experiment: HijackExperiment, config: ArtemisConfig
+) -> Tuple[ThirdPartyPipeline, List]:
+    """RIB-dump-only detection: a dedicated archive publishing 2 h snapshots."""
+    archive = BatchArchive.deploy(
+        experiment.network,
+        experiment.monitors.batch_vantages or experiment.monitors.ris_vantages,
+        seed=experiment.config.seed,
+        name="rib-only",
+        publish_updates=False,
+    )
+    pipeline = RibDumpBaseline(
+        experiment.network.engine, config, rng=_rng(experiment, "rib")
+    )
+    return pipeline, [archive]
+
+
+def argus_factory(
+    experiment: HijackExperiment, config: ArtemisConfig
+) -> Tuple[ThirdPartyPipeline, List]:
+    """Argus-style: live BGPmon stream + prompt (but human) operator."""
+    pipeline = ArgusBaseline(
+        experiment.network.engine, config, rng=_rng(experiment, "argus")
+    )
+    return pipeline, [experiment.monitors.bgpmon]
+
+
+FACTORIES = {
+    "phas": phas_factory,
+    "rib-dump": ribdump_factory,
+    "argus": argus_factory,
+}

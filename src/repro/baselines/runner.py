@@ -1,0 +1,153 @@
+"""Run a hijack experiment defended by a third-party baseline.
+
+Reuses :class:`~repro.testbed.scenario.HijackExperiment` for the environment
+(same topology, testbed, monitors, tracker — apples-to-apples with ARTEMIS),
+but instead of starting ARTEMIS it wires a
+:class:`~repro.baselines.thirdparty.ThirdPartyPipeline` to the chosen feed
+and lets the modelled operator do the mitigating (the same de-aggregation
+ARTEMIS would program, issued manually).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.baselines.thirdparty import ThirdPartyPipeline
+from repro.core.alerts import HijackAlert
+from repro.core.config import ArtemisConfig, OwnedPrefix
+from repro.errors import ExperimentError
+from repro.testbed.scenario import HijackExperiment, ScenarioConfig
+
+#: Builds a pipeline and returns (pipeline, feed sources) for an experiment.
+PipelineFactory = Callable[[HijackExperiment, ArtemisConfig], Tuple[ThirdPartyPipeline, list]]
+
+
+class BaselineResult:
+    """Timings for a baseline run (comparable to ExperimentResult)."""
+
+    def __init__(self) -> None:
+        self.system: str = ""
+        self.seed: int = 0
+        #: Hijack → alert at the third party's consumer.
+        self.detection_delay: Optional[float] = None
+        #: Alert → routers reconfigured (verification + manual work).
+        self.reaction_delay: Optional[float] = None
+        #: Reconfiguration → every AS back on the legit origin.
+        self.completion_delay: Optional[float] = None
+        #: Hijack → fully recovered; the number compared against ARTEMIS.
+        self.total_time: Optional[float] = None
+        self.mitigated: bool = False
+        #: Fraction of ASes still (partly) on the hijacker at the end.
+        self.residual_hijack_fraction: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "system": self.system,
+            "seed": self.seed,
+            "detection_delay": self.detection_delay,
+            "reaction_delay": self.reaction_delay,
+            "completion_delay": self.completion_delay,
+            "total_time": self.total_time,
+            "mitigated": self.mitigated,
+            "residual_hijack_fraction": self.residual_hijack_fraction,
+        }
+
+    def __repr__(self) -> str:
+        def fmt(value: Optional[float]) -> str:
+            return f"{value / 60:.1f}min" if value is not None else "-"
+
+        return (
+            f"BaselineResult({self.system} detect={fmt(self.detection_delay)} "
+            f"react={fmt(self.reaction_delay)} total={fmt(self.total_time)})"
+        )
+
+
+class BaselineExperiment:
+    """The three-phase experiment, defended by a third-party pipeline."""
+
+    def __init__(
+        self,
+        scenario: ScenarioConfig,
+        make_pipeline: PipelineFactory,
+        timeout: float = 6 * 3600.0,
+    ):
+        # ARTEMIS must not interfere: build it but never start it.
+        self.scenario = scenario
+        self.make_pipeline = make_pipeline
+        self.timeout = float(timeout)
+        self.experiment = HijackExperiment(scenario)
+        self.pipeline: Optional[ThirdPartyPipeline] = None
+
+    def run(self) -> BaselineResult:
+        exp = self.experiment
+        exp.setup()
+        engine = exp.network.engine
+        config = ArtemisConfig(
+            owned=[OwnedPrefix(self.scenario.prefix, {exp.victim.asn})],
+            auto_mitigate=False,
+        )
+        pipeline, sources = self.make_pipeline(exp, config)
+        self.pipeline = pipeline
+
+        expected_full_recovery = True
+
+        def manual_mitigation(alert: HijackAlert) -> None:
+            # The operator de-aggregates by hand: same announcements ARTEMIS
+            # would make, no controller needed (they are at the console).
+            nonlocal expected_full_recovery
+            limit = config.max_announce_length(alert.announced_prefix.version)
+            target = alert.announced_prefix
+            if target.length < limit:
+                prefixes = target.deaggregate()
+            else:
+                prefixes = [target]
+                expected_full_recovery = False
+            for prefix in prefixes:
+                if not exp.victim.speaker.originates(prefix):
+                    exp.victim.announce(prefix)
+
+        pipeline.start(sources, manual_mitigation)
+
+        result = BaselineResult()
+        result.system = pipeline.name
+        result.seed = self.scenario.seed
+
+        # Phase-1: legitimate announcement converges.
+        if exp.churn is not None:
+            exp.churn.start()
+            exp.network.run_for(self.scenario.churn_warmup)
+        exp.victim.announce(self.scenario.prefix)
+        if not exp._run_until_routing({exp.victim.asn}, self.timeout):
+            raise ExperimentError("baseline phase-1 failed to converge")
+        exp.network.run_for(self.scenario.baseline_settle)
+
+        # Phase-2: hijack; wait for the third party to notice.
+        hijack_time = engine.now
+        exp.hijacker.announce(self.scenario.hijack_prefix)
+        exp._run_until(lambda: pipeline.alert is not None, self.timeout)
+        if pipeline.alert is not None:
+            result.detection_delay = pipeline.detected_at - hijack_time
+
+        # Phase-3: wait out the human, then recovery.
+        exp._run_until(
+            lambda: pipeline.mitigation_started_at is not None, self.timeout
+        )
+        result.reaction_delay = pipeline.reaction_delay
+        if pipeline.mitigation_started_at is not None:
+            window = (
+                self.timeout
+                if expected_full_recovery
+                else self.scenario.observation_window
+            )
+            exp._run_until_routing({exp.victim.asn}, window)
+            completion = exp.tracker.first_time_all_route_to(
+                {exp.victim.asn}, since=pipeline.mitigation_started_at
+            )
+            if completion is not None:
+                result.completion_delay = completion - pipeline.mitigation_started_at
+                result.total_time = completion - hijack_time
+                result.mitigated = True
+        result.residual_hijack_fraction = exp.tracker.fraction_routing_to(
+            {exp.hijacker.asn}, mode="any"
+        )
+        return result

@@ -1,0 +1,121 @@
+"""Third-party alert-service pipelines.
+
+A :class:`ThirdPartyPipeline` chains: feed source → origin-check detection
+(same classification logic as ARTEMIS, reused from
+:class:`~repro.core.detection.DetectionService`) → operator verification →
+manual mitigation (the victim de-aggregates by hand).  Subclasses only pick
+the feed and the operator temperament.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.baselines.operator import OperatorModel
+from repro.core.alerts import HijackAlert
+from repro.core.config import ArtemisConfig
+from repro.core.detection import DetectionService
+from repro.errors import ExperimentError
+from repro.sim.engine import Engine
+from repro.sim.rng import SeededRNG
+
+
+class ThirdPartyPipeline:
+    """Feed → third-party detection → human → manual mitigation."""
+
+    #: Subclasses set a human-readable system name.
+    name = "third-party"
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: ArtemisConfig,
+        operator: Optional[OperatorModel] = None,
+        rng: Optional[SeededRNG] = None,
+    ):
+        self.engine = engine
+        #: Ground truth is the same as ARTEMIS'; what differs is who runs the
+        #: checks and what happens after.
+        self.config = config
+        self.detection = DetectionService(config)
+        self.operator = operator or OperatorModel()
+        self.rng = rng or SeededRNG(0)
+        #: Called when the operator finally reconfigures the routers.
+        self._mitigate: Optional[Callable[[HijackAlert], None]] = None
+        self.alert: Optional[HijackAlert] = None
+        self.detected_at: Optional[float] = None
+        self.verified_at: Optional[float] = None
+        self.mitigation_started_at: Optional[float] = None
+        self.detection.on_alert(self._on_alert)
+
+    def start(self, sources: List, mitigate: Callable[[HijackAlert], None]) -> None:
+        """Attach to feed ``sources``; call ``mitigate`` when the human acts."""
+        self._mitigate = mitigate
+        self.detection.start(sources)
+
+    def _on_alert(self, alert: HijackAlert) -> None:
+        if self.alert is not None:
+            return  # One incident per experiment; ignore repeats.
+        self.alert = alert
+        self.detected_at = alert.detected_at
+        verify = self.operator.sample_verification(self.rng)
+        reconfigure = self.operator.sample_reconfiguration(self.rng)
+
+        def verified() -> None:
+            self.verified_at = self.engine.now
+            self.engine.schedule(reconfigure, act)
+
+        def act() -> None:
+            self.mitigation_started_at = self.engine.now
+            if self._mitigate is None:
+                raise ExperimentError(f"{self.name}: no mitigation hook attached")
+            self._mitigate(self.alert)
+
+        self.engine.schedule(verify, verified)
+
+    @property
+    def reaction_delay(self) -> Optional[float]:
+        """Alert delivery → routers reconfigured (the human part)."""
+        if self.detected_at is None or self.mitigation_started_at is None:
+            return None
+        return self.mitigation_started_at - self.detected_at
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} detected_at={self.detected_at}>"
+
+
+class PhasBaseline(ThirdPartyPipeline):
+    """PHAS (Lad et al., USENIX Security 2006) style.
+
+    Watches RouteViews *update archives* (15-minute files) for origin
+    changes and emails the registered operator.  Feed: the batch archive's
+    update stream; operator: default (tens of minutes).
+    """
+
+    name = "phas"
+
+
+class RibDumpBaseline(ThirdPartyPipeline):
+    """Detection only from 2-hour RIB snapshots — the slowest data path."""
+
+    name = "rib-dump"
+
+
+class ArgusBaseline(ThirdPartyPipeline):
+    """Argus (Shi et al., IMC 2012) style.
+
+    Uses *live* BGPmon feeds, so raw detection is fast — but the service is
+    still operated by a third party, so the operator pipeline (notification,
+    verification, manual reconfiguration) dominates the outage.  A prompt
+    operator model is used to be generous to the baseline.
+    """
+
+    name = "argus"
+
+    def __init__(self, engine, config, operator=None, rng=None):
+        super().__init__(
+            engine,
+            config,
+            operator=operator or OperatorModel.prompt(),
+            rng=rng,
+        )

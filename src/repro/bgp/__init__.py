@@ -1,0 +1,47 @@
+"""A from-scratch BGP model: messages, RIBs, decision process, policy, speakers.
+
+The model is control-plane faithful where it matters for ARTEMIS:
+
+* per-prefix route propagation with per-session delays, per-router update
+  processing time, and per-peer MRAI batching — these produce the
+  seconds-to-minutes Internet convergence the paper's timings are made of;
+* Gao-Rexford (valley-free) import preference and export filtering — these
+  produce *partial* hijack adoption ("ASes closer to the hijacker flip");
+* longest-prefix-match data-plane resolution — this is why announcing the
+  de-aggregated /24s steals traffic back from the hijacked /23.
+"""
+
+from repro.bgp.messages import Announcement, UpdateMessage, Withdrawal
+from repro.bgp.policy import (
+    AcceptAll,
+    MaxLengthFilter,
+    Policy,
+    Relationship,
+    RouteFilter,
+)
+from repro.bgp.rib import AdjRibIn, LocRib
+from repro.bgp.route import Route
+from repro.bgp.rpki import ROA, ROVFilter, RPKIRegistry, Validity
+from repro.bgp.session import ActivityTracker, Session
+from repro.bgp.speaker import BGPSpeaker
+
+__all__ = [
+    "AcceptAll",
+    "ActivityTracker",
+    "AdjRibIn",
+    "Announcement",
+    "BGPSpeaker",
+    "LocRib",
+    "MaxLengthFilter",
+    "Policy",
+    "ROA",
+    "ROVFilter",
+    "RPKIRegistry",
+    "Relationship",
+    "Route",
+    "RouteFilter",
+    "Validity",
+    "Session",
+    "UpdateMessage",
+    "Withdrawal",
+]

@@ -1,0 +1,51 @@
+"""The BGP decision process (best-path selection).
+
+A deterministic total order over candidate :class:`~repro.bgp.route.Route`
+objects, following RFC 4271 §9.1.2 restricted to the attributes this model
+carries:
+
+1. highest LOCAL_PREF (which encodes the Gao-Rexford preference);
+2. shortest AS path;
+3. lowest ORIGIN attribute code (IGP < EGP < INCOMPLETE);
+4. oldest route (stability preference — keeps churn down during hijacks);
+5. lowest neighbor ASN (the deterministic final tie-break).
+
+Self-originated routes carry a LOCAL_PREF far above any learned route, so
+they always win — an AS never prefers someone else's path to its own prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.bgp.route import Route
+
+
+def preference_key(route: Route) -> Tuple:
+    """Sort key: smaller is better (usable with ``min``)."""
+    return (
+        -route.local_pref,
+        route.path_length,
+        route.origin_attr,
+        route.learned_at,
+        route.peer_asn if route.peer_asn is not None else -1,
+    )
+
+
+def better(a: Route, b: Route) -> bool:
+    """True if route ``a`` is strictly preferred over ``b``."""
+    return preference_key(a) < preference_key(b)
+
+
+def select_best(candidates: Iterable[Route]) -> Optional[Route]:
+    """Pick the best route among ``candidates`` (None if empty)."""
+    best: Optional[Route] = None
+    for route in candidates:
+        if best is None or better(route, best):
+            best = route
+    return best
+
+
+def rank(candidates: Iterable[Route]) -> List[Route]:
+    """All candidates ordered best-first (for looking-glass 'show ip bgp')."""
+    return sorted(candidates, key=preference_key)

@@ -1,0 +1,162 @@
+"""BGP UPDATE message model.
+
+An :class:`UpdateMessage` carries announcements and withdrawals between two
+speakers over a :class:`~repro.bgp.session.Session`, exactly like the NLRI /
+withdrawn-routes fields of a wire UPDATE.  Messages are immutable value
+objects; the AS path is stored as a tuple so accidental mutation during
+propagation is impossible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import BGPError
+from repro.net.prefix import Prefix
+
+#: BGP ORIGIN attribute codes (RFC 4271 §5.1.1) — lower is preferred.
+ORIGIN_IGP = 0
+ORIGIN_EGP = 1
+ORIGIN_INCOMPLETE = 2
+
+
+class Announcement:
+    """One announced NLRI with its path attributes.
+
+    ``as_path[0]`` is the most recent (sending) AS and ``as_path[-1]`` is the
+    origin AS — the convention used by route collectors and looking glasses.
+    """
+
+    __slots__ = ("prefix", "as_path", "origin_attr", "communities")
+
+    def __init__(
+        self,
+        prefix: Prefix,
+        as_path: Sequence[int],
+        origin_attr: int = ORIGIN_IGP,
+        communities: Sequence[Tuple[int, int]] = (),
+    ):
+        if not as_path:
+            raise BGPError(f"announcement for {prefix} has an empty AS path")
+        if origin_attr not in (ORIGIN_IGP, ORIGIN_EGP, ORIGIN_INCOMPLETE):
+            raise BGPError(f"invalid ORIGIN attribute {origin_attr}")
+        self.prefix = prefix
+        self.as_path: Tuple[int, ...] = tuple(int(a) for a in as_path)
+        self.origin_attr = origin_attr
+        self.communities: Tuple[Tuple[int, int], ...] = tuple(
+            (int(high), int(low)) for high, low in communities
+        )
+
+    @property
+    def origin_as(self) -> int:
+        """The AS that originated the prefix (last path element)."""
+        return self.as_path[-1]
+
+    @property
+    def sender_as(self) -> int:
+        """The AS that sent this announcement (first path element)."""
+        return self.as_path[0]
+
+    def prepended(self, asn: int, times: int = 1) -> "Announcement":
+        """A copy with ``asn`` prepended ``times`` times (export-side)."""
+        if times < 1:
+            raise BGPError(f"prepend count must be >= 1, got {times}")
+        return Announcement(
+            self.prefix,
+            (int(asn),) * times + self.as_path,
+            self.origin_attr,
+            self.communities,
+        )
+
+    def has_loop(self, asn: int) -> bool:
+        """True if ``asn`` already appears in the AS path (RFC 4271 loop check)."""
+        return int(asn) in self.as_path
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Announcement):
+            return NotImplemented
+        return (
+            self.prefix == other.prefix
+            and self.as_path == other.as_path
+            and self.origin_attr == other.origin_attr
+            and self.communities == other.communities
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.prefix, self.as_path, self.origin_attr, self.communities))
+
+    def __repr__(self) -> str:
+        path = " ".join(str(a) for a in self.as_path)
+        return f"Announcement({self.prefix} path=[{path}])"
+
+
+class Withdrawal:
+    """A withdrawn NLRI."""
+
+    __slots__ = ("prefix",)
+
+    def __init__(self, prefix: Prefix):
+        self.prefix = prefix
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Withdrawal):
+            return NotImplemented
+        return self.prefix == other.prefix
+
+    def __hash__(self) -> int:
+        return hash(("withdraw", self.prefix))
+
+    def __repr__(self) -> str:
+        return f"Withdrawal({self.prefix})"
+
+
+class UpdateMessage:
+    """A batch of announcements and withdrawals sent over one session.
+
+    MRAI batching naturally produces multi-prefix updates; keeping them in one
+    message mirrors the wire protocol and lets feeds timestamp them together.
+    """
+
+    __slots__ = ("sender_asn", "announcements", "withdrawals")
+
+    def __init__(
+        self,
+        sender_asn: int,
+        announcements: Sequence[Announcement] = (),
+        withdrawals: Sequence[Withdrawal] = (),
+    ):
+        if not announcements and not withdrawals:
+            raise BGPError("an UPDATE must announce or withdraw something")
+        self.sender_asn = int(sender_asn)
+        self.announcements: Tuple[Announcement, ...] = tuple(announcements)
+        self.withdrawals: Tuple[Withdrawal, ...] = tuple(withdrawals)
+        for announcement in self.announcements:
+            if announcement.sender_as != self.sender_asn:
+                raise BGPError(
+                    f"announcement {announcement} does not start with sender "
+                    f"AS {self.sender_asn}"
+                )
+
+    @property
+    def size(self) -> int:
+        """Number of NLRI entries carried (announce + withdraw)."""
+        return len(self.announcements) + len(self.withdrawals)
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateMessage(from=AS{self.sender_asn} "
+            f"+{len(self.announcements)} -{len(self.withdrawals)})"
+        )
+
+
+def single_announcement(
+    prefix: Prefix, as_path: Sequence[int], origin_attr: int = ORIGIN_IGP
+) -> UpdateMessage:
+    """Convenience: an UPDATE carrying exactly one announcement."""
+    announcement = Announcement(prefix, as_path, origin_attr)
+    return UpdateMessage(announcement.sender_as, announcements=(announcement,))
+
+
+def single_withdrawal(sender_asn: int, prefix: Prefix) -> UpdateMessage:
+    """Convenience: an UPDATE carrying exactly one withdrawal."""
+    return UpdateMessage(sender_asn, withdrawals=(Withdrawal(prefix),))

@@ -1,0 +1,178 @@
+"""Routing policy: business relationships, Gao-Rexford rules, route filters.
+
+The policy model is the standard economic one:
+
+* **import preference** — customer-learned routes are most preferred (they
+  earn money), then peer-learned, then provider-learned;
+* **export (valley-free) rule** — routes learned from a customer are exported
+  to everyone; routes learned from a peer or provider are exported only to
+  customers.  Self-originated routes go to everyone.
+
+It is exactly this policy structure that makes a hijack *partially*
+successful (only ASes economically "closer" to the hijacker switch), which is
+the behaviour ARTEMIS' monitoring visualises and its mitigation reverses.
+
+Route filters model operational practice; the one the paper calls out is the
+widespread filtering of announcements more specific than /24, which is why
+de-aggregating a /24 does not work (experiment E6).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.bgp.messages import Announcement
+from repro.errors import BGPError
+from repro.net.prefix import Prefix
+
+
+class Relationship(enum.Enum):
+    """Business relationship of *my* AS towards a neighbor.
+
+    ``CUSTOMER`` means "the neighbor is my customer".  ``MONITOR`` marks
+    passive measurement sessions (route collectors, looking-glass probes):
+    they receive the full best-route feed and never send routes.
+    """
+
+    CUSTOMER = "customer"
+    PEER = "peer"
+    PROVIDER = "provider"
+    MONITOR = "monitor"
+
+    def inverse(self) -> "Relationship":
+        """The relationship as seen from the neighbor's side."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return self
+
+
+#: Default LOCAL_PREF assigned by relationship (higher wins).
+DEFAULT_LOCAL_PREF: Dict[Relationship, int] = {
+    Relationship.CUSTOMER: 300,
+    Relationship.PEER: 200,
+    Relationship.PROVIDER: 100,
+    Relationship.MONITOR: 0,
+}
+
+
+class RouteFilter:
+    """Base class for import/export filters; return False to reject."""
+
+    def accepts(self, announcement: Announcement) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, announcement: Announcement) -> bool:
+        return self.accepts(announcement)
+
+
+class AcceptAll(RouteFilter):
+    """The permissive default."""
+
+    def accepts(self, announcement: Announcement) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "AcceptAll()"
+
+
+class MaxLengthFilter(RouteFilter):
+    """Reject prefixes more specific than a limit (default /24 for IPv4).
+
+    This models the common ISP practice the paper cites as the reason
+    de-aggregation cannot protect /24s.  IPv6 uses a /48 limit by default.
+    """
+
+    def __init__(self, max_length_v4: int = 24, max_length_v6: int = 48):
+        if not 0 <= max_length_v4 <= 32:
+            raise BGPError(f"invalid IPv4 max length {max_length_v4}")
+        if not 0 <= max_length_v6 <= 128:
+            raise BGPError(f"invalid IPv6 max length {max_length_v6}")
+        self.max_length_v4 = max_length_v4
+        self.max_length_v6 = max_length_v6
+
+    def accepts(self, announcement: Announcement) -> bool:
+        prefix = announcement.prefix
+        limit = self.max_length_v4 if prefix.version == 4 else self.max_length_v6
+        return prefix.length <= limit
+
+    def __repr__(self) -> str:
+        return f"MaxLengthFilter(v4</{self.max_length_v4}, v6</{self.max_length_v6})"
+
+
+class PrefixDenyFilter(RouteFilter):
+    """Reject announcements covered by any of the given prefixes (bogons etc.)."""
+
+    def __init__(self, denied: Iterable[Prefix]):
+        self.denied = tuple(denied)
+
+    def accepts(self, announcement: Announcement) -> bool:
+        return not any(d.contains(announcement.prefix) for d in self.denied)
+
+    def __repr__(self) -> str:
+        return f"PrefixDenyFilter({[str(p) for p in self.denied]})"
+
+
+class FilterChain(RouteFilter):
+    """All filters must accept."""
+
+    def __init__(self, filters: Sequence[RouteFilter]):
+        self.filters = tuple(filters)
+
+    def accepts(self, announcement: Announcement) -> bool:
+        return all(f.accepts(announcement) for f in self.filters)
+
+    def __repr__(self) -> str:
+        return f"FilterChain({list(self.filters)})"
+
+
+class Policy:
+    """Per-speaker routing policy.
+
+    Combines relationship-based preference, the valley-free export rule, and
+    an optional import filter chain.  Subclass and override the hooks to
+    model special behaviour (e.g. a transit AS that leaks routes).
+    """
+
+    def __init__(
+        self,
+        import_filter: Optional[RouteFilter] = None,
+        local_pref_overrides: Optional[Dict[Relationship, int]] = None,
+    ):
+        self.import_filter = import_filter or AcceptAll()
+        self.local_pref = dict(DEFAULT_LOCAL_PREF)
+        if local_pref_overrides:
+            self.local_pref.update(local_pref_overrides)
+
+    def accept_import(
+        self, announcement: Announcement, relationship: Relationship
+    ) -> bool:
+        """Import-side filtering (loop checking is done by the speaker)."""
+        return self.import_filter.accepts(announcement)
+
+    def import_local_pref(self, relationship: Relationship) -> int:
+        """LOCAL_PREF for a route learned over a ``relationship`` session."""
+        return self.local_pref[relationship]
+
+    def should_export(
+        self,
+        learned_from: Optional[Relationship],
+        export_to: Relationship,
+    ) -> bool:
+        """Gao-Rexford export rule.
+
+        ``learned_from`` is ``None`` for self-originated routes (exported to
+        everyone).  Monitors receive everything; routes are never exported
+        *from* a monitor because monitors never announce.
+        """
+        if export_to is Relationship.MONITOR:
+            return True
+        if learned_from is None or learned_from is Relationship.CUSTOMER:
+            return True
+        # Peer- or provider-learned: only export to customers (no valleys).
+        return export_to is Relationship.CUSTOMER
+
+    def __repr__(self) -> str:
+        return f"Policy(import={self.import_filter!r})"

@@ -1,0 +1,130 @@
+"""Routing Information Bases.
+
+Three structures mirror RFC 4271:
+
+* :class:`AdjRibIn` — everything learned, per (peer, prefix);
+* :class:`LocRib` — the winner per prefix, kept in a radix trie so the
+  data plane (and the monitoring service) can do longest-prefix matches;
+* Adj-RIB-Out is kept per peer inside the speaker (a plain dict of what was
+  last sent), so withdraws are only generated for prefixes actually
+  advertised to that peer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.bgp.route import Route
+from repro.net.prefix import Address, Prefix
+from repro.net.trie import PrefixTrie
+
+
+class AdjRibIn:
+    """Routes learned from neighbors, indexed both ways.
+
+    ``by_prefix`` drives the decision process (all candidates for a prefix);
+    ``by_peer`` drives session reset / peer removal.
+    """
+
+    def __init__(self) -> None:
+        self._by_prefix: Dict[Prefix, Dict[int, Route]] = {}
+        self._by_peer: Dict[int, Dict[Prefix, Route]] = {}
+
+    def insert(self, route: Route) -> Optional[Route]:
+        """Store ``route`` (implicit withdraw of the peer's previous route).
+
+        Returns the replaced route, if any.
+        """
+        assert route.peer_asn is not None, "Adj-RIB-In only holds learned routes"
+        peer = route.peer_asn
+        previous = self._by_prefix.setdefault(route.prefix, {}).get(peer)
+        self._by_prefix[route.prefix][peer] = route
+        self._by_peer.setdefault(peer, {})[route.prefix] = route
+        return previous
+
+    def withdraw(self, peer_asn: int, prefix: Prefix) -> Optional[Route]:
+        """Remove the peer's route for ``prefix``; returns it if present."""
+        candidates = self._by_prefix.get(prefix)
+        removed = None
+        if candidates is not None:
+            removed = candidates.pop(peer_asn, None)
+            if not candidates:
+                del self._by_prefix[prefix]
+        peer_routes = self._by_peer.get(peer_asn)
+        if peer_routes is not None:
+            peer_routes.pop(prefix, None)
+            if not peer_routes:
+                del self._by_peer[peer_asn]
+        return removed
+
+    def candidates(self, prefix: Prefix) -> List[Route]:
+        """All learned routes for ``prefix`` (decision-process input)."""
+        return list(self._by_prefix.get(prefix, {}).values())
+
+    def route_from(self, peer_asn: int, prefix: Prefix) -> Optional[Route]:
+        return self._by_prefix.get(prefix, {}).get(peer_asn)
+
+    def prefixes_from(self, peer_asn: int) -> List[Prefix]:
+        """All prefixes currently learned from ``peer_asn``."""
+        return list(self._by_peer.get(peer_asn, {}))
+
+    def drop_peer(self, peer_asn: int) -> List[Prefix]:
+        """Remove every route from ``peer_asn`` (session down); returns prefixes."""
+        prefixes = self.prefixes_from(peer_asn)
+        for prefix in prefixes:
+            self.withdraw(peer_asn, prefix)
+        return prefixes
+
+    def __len__(self) -> int:
+        return sum(len(peers) for peers in self._by_prefix.values())
+
+    def prefixes(self) -> Iterator[Prefix]:
+        return iter(self._by_prefix)
+
+
+class LocRib:
+    """Best route per prefix, with longest-prefix-match resolution."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[Route] = PrefixTrie()
+
+    def get(self, prefix: Prefix) -> Optional[Route]:
+        """The installed best route for exactly ``prefix``, if any."""
+        return self._trie.get(prefix)
+
+    def install(self, route: Route) -> Optional[Route]:
+        """Install ``route`` as best for its prefix; returns the previous best."""
+        previous = self._trie.get(route.prefix)
+        self._trie[route.prefix] = route
+        return previous
+
+    def remove(self, prefix: Prefix) -> Optional[Route]:
+        """Remove the best route for ``prefix``; returns it if present."""
+        if prefix in self._trie:
+            return self._trie.remove(prefix)
+        return None
+
+    def resolve(self, target: Union[Address, Prefix, str]) -> Optional[Route]:
+        """Data-plane resolution: most specific route covering ``target``.
+
+        This is where de-aggregation wins: once a /24 best route is
+        installed, ``resolve`` prefers it over the covering /23.
+        """
+        match = self._trie.longest_match(target)
+        return match[1] if match else None
+
+    def covered(self, prefix: Prefix) -> Iterator[Tuple[Prefix, Route]]:
+        """Installed routes equal to or more specific than ``prefix``."""
+        return self._trie.covered(prefix)
+
+    def routes(self) -> Iterator[Route]:
+        return self._trie.values()
+
+    def prefixes(self) -> Iterator[Prefix]:
+        return self._trie.keys()
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._trie
+
+    def __len__(self) -> int:
+        return len(self._trie)

@@ -1,0 +1,116 @@
+"""Routes as stored in RIBs.
+
+A :class:`Route` is an :class:`~repro.bgp.messages.Announcement` enriched with
+the receiver-local context the decision process needs: which peer it came
+from, the business relationship to that peer, the derived LOCAL_PREF, and
+when it was learned (simulated time).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.bgp.messages import ORIGIN_IGP, Announcement
+from repro.errors import BGPError
+from repro.net.prefix import Prefix
+
+
+class Route:
+    """A candidate path for one prefix, from one neighbor (or self-originated).
+
+    ``peer_asn`` is ``None`` for locally originated routes; those always win
+    the decision process (highest preference, empty path).
+    """
+
+    __slots__ = (
+        "prefix",
+        "as_path",
+        "origin_attr",
+        "peer_asn",
+        "local_pref",
+        "learned_at",
+        "communities",
+    )
+
+    def __init__(
+        self,
+        prefix: Prefix,
+        as_path: Sequence[int],
+        peer_asn: Optional[int],
+        local_pref: int,
+        origin_attr: int = ORIGIN_IGP,
+        learned_at: float = 0.0,
+        communities: Sequence[Tuple[int, int]] = (),
+    ):
+        if peer_asn is not None and not as_path:
+            raise BGPError(f"learned route for {prefix} has an empty AS path")
+        self.prefix = prefix
+        self.as_path: Tuple[int, ...] = tuple(int(a) for a in as_path)
+        self.origin_attr = origin_attr
+        self.peer_asn = None if peer_asn is None else int(peer_asn)
+        self.local_pref = int(local_pref)
+        self.learned_at = float(learned_at)
+        self.communities: Tuple[Tuple[int, int], ...] = tuple(communities)
+
+    @classmethod
+    def local(cls, prefix: Prefix, local_pref: int = 1_000_000) -> "Route":
+        """A self-originated route (empty AS path, top preference)."""
+        return cls(prefix, (), None, local_pref)
+
+    @classmethod
+    def from_announcement(
+        cls,
+        announcement: Announcement,
+        peer_asn: int,
+        local_pref: int,
+        learned_at: float,
+    ) -> "Route":
+        return cls(
+            announcement.prefix,
+            announcement.as_path,
+            peer_asn,
+            local_pref,
+            announcement.origin_attr,
+            learned_at,
+            announcement.communities,
+        )
+
+    @property
+    def is_local(self) -> bool:
+        """True for self-originated routes."""
+        return self.peer_asn is None
+
+    @property
+    def origin_as(self) -> Optional[int]:
+        """Origin AS of the path, or ``None`` for self-originated routes.
+
+        Callers that need "who originates this from AS X's view" should treat
+        ``None`` as X itself; :class:`~repro.bgp.speaker.BGPSpeaker` does so.
+        """
+        return self.as_path[-1] if self.as_path else None
+
+    @property
+    def path_length(self) -> int:
+        return len(self.as_path)
+
+    def to_announcement(self, sender_asn: int, prepend: int = 1) -> Announcement:
+        """Export form of this route: ``sender_asn`` prepended to the path."""
+        return Announcement(
+            self.prefix,
+            (int(sender_asn),) * max(1, prepend) + self.as_path,
+            self.origin_attr,
+            self.communities,
+        )
+
+    def same_attributes(self, other: "Route") -> bool:
+        """True when re-announcing ``other`` instead of ``self`` would be a no-op."""
+        return (
+            self.prefix == other.prefix
+            and self.as_path == other.as_path
+            and self.origin_attr == other.origin_attr
+        )
+
+    def __repr__(self) -> str:
+        path = " ".join(str(a) for a in self.as_path) or "local"
+        via = "local" if self.peer_asn is None else f"via AS{self.peer_asn}"
+        return f"Route({self.prefix} [{path}] {via} lp={self.local_pref})"

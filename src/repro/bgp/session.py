@@ -1,0 +1,134 @@
+"""BGP sessions: delayed, ordered message delivery between two endpoints.
+
+A :class:`Session` connects two endpoints (speakers, collectors, looking
+glasses — anything with a ``deliver(sender_asn, message)`` method) through
+the simulation engine.  Each transmission samples a propagation delay;
+delivery order per direction is enforced FIFO (TCP semantics) by never
+letting a later message overtake an earlier one.
+
+The :class:`ActivityTracker` counts BGP work in flight (queued messages and
+pending processing).  The network layer uses it for convergence detection:
+BGP has converged exactly when the tracker reads zero — periodic measurement
+tasks (LG polls, batch dumps) do not touch it, so they never mask
+convergence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.bgp.messages import UpdateMessage
+from repro.errors import BGPError
+from repro.sim.engine import Engine
+from repro.sim.latency import Constant, Delay
+from repro.sim.rng import SeededRNG
+
+
+class Endpoint(Protocol):
+    """Anything that can terminate a BGP session."""
+
+    asn: int
+
+    def deliver(self, sender_asn: int, message: UpdateMessage) -> None:
+        """Handle an arriving UPDATE (called at delivery time)."""
+
+
+class ActivityTracker:
+    """Counts in-flight BGP work for convergence detection."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self.total_messages = 0
+        self.total_nlri = 0
+
+    def begin(self) -> None:
+        self._count += 1
+
+    def end(self) -> None:
+        if self._count <= 0:
+            raise BGPError("ActivityTracker.end() without matching begin()")
+        self._count -= 1
+
+    @property
+    def busy(self) -> bool:
+        return self._count > 0
+
+    @property
+    def in_flight(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:
+        return f"<ActivityTracker in_flight={self._count}>"
+
+
+class Session:
+    """A point-to-point BGP session with a per-message delay distribution."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        a: Endpoint,
+        b: Endpoint,
+        delay: Optional[Delay] = None,
+        rng: Optional[SeededRNG] = None,
+        tracker: Optional[ActivityTracker] = None,
+    ):
+        if a.asn == b.asn:
+            raise BGPError(f"cannot create a session from AS{a.asn} to itself")
+        self.engine = engine
+        self.a = a
+        self.b = b
+        self.delay = delay or Constant(0.05)
+        self.rng = rng or SeededRNG(0)
+        self.tracker = tracker
+        self.up = True
+        # FIFO guarantee: next earliest delivery time allowed, per direction.
+        self._clear_time = {a.asn: 0.0, b.asn: 0.0}
+        self.messages_sent = 0
+
+    def other(self, endpoint_asn: int) -> Endpoint:
+        """The endpoint on the far side from ``endpoint_asn``."""
+        if endpoint_asn == self.a.asn:
+            return self.b
+        if endpoint_asn == self.b.asn:
+            return self.a
+        raise BGPError(f"AS{endpoint_asn} is not an endpoint of this session")
+
+    def send(self, sender_asn: int, message: UpdateMessage) -> None:
+        """Transmit ``message`` from ``sender_asn`` to the far endpoint.
+
+        Messages sent on a torn-down session are silently dropped (the
+        speaker logic treats session failure as route loss separately).
+        """
+        if not self.up:
+            return
+        receiver = self.other(sender_asn)
+        sample = self.delay.sample(self.rng)
+        arrival = max(self.engine.now + sample, self._clear_time[sender_asn])
+        self._clear_time[sender_asn] = arrival
+        self.messages_sent += 1
+        if self.tracker is not None:
+            self.tracker.begin()
+            self.tracker.total_messages += 1
+            self.tracker.total_nlri += message.size
+
+        def deliver() -> None:
+            try:
+                if self.up:
+                    receiver.deliver(sender_asn, message)
+            finally:
+                if self.tracker is not None:
+                    self.tracker.end()
+
+        self.engine.schedule_at(arrival, deliver)
+
+    def tear_down(self) -> None:
+        """Mark the session down; in-flight messages are dropped on arrival."""
+        self.up = False
+
+    def restore(self) -> None:
+        self.up = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"<Session AS{self.a.asn}<->AS{self.b.asn} {state}>"

@@ -1,0 +1,344 @@
+"""The BGP speaker: a router's control plane as a simulation process.
+
+Each speaker owns its RIBs and policy and reacts to delivered UPDATEs:
+
+    deliver → (processing delay) → import filter / loop check → Adj-RIB-In
+            → decision process → Loc-RIB change → export marking
+            → (MRAI batching) → UPDATE out on each session
+
+Timing knobs — per-update processing delay and per-peer MRAI — are what turn
+a graph flood into realistic seconds-to-minutes Internet convergence, which
+is the quantity ARTEMIS' evaluation measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+
+from repro.bgp.decision import select_best
+from repro.bgp.messages import Announcement, UpdateMessage, Withdrawal
+from repro.bgp.policy import Policy, Relationship
+from repro.bgp.rib import AdjRibIn, LocRib
+from repro.bgp.route import Route
+from repro.bgp.session import ActivityTracker, Session
+from repro.errors import BGPError
+from repro.net.prefix import Address, Prefix
+from repro.sim.engine import Engine
+from repro.sim.latency import Constant, Delay
+from repro.sim.rng import SeededRNG
+
+#: Callback fired on every Loc-RIB change:
+#: ``(speaker, prefix, new_route_or_None, old_route_or_None)``.
+BestChangeCallback = Callable[["BGPSpeaker", Prefix, Optional[Route], Optional[Route]], None]
+
+
+class PeerState:
+    """Per-neighbor state: session, relationship, Adj-RIB-Out, MRAI."""
+
+    __slots__ = (
+        "session",
+        "relationship",
+        "adj_rib_out",
+        "dirty",
+        "next_allowed_send",
+        "flush_scheduled",
+    )
+
+    def __init__(self, session: Session, relationship: Relationship):
+        self.session = session
+        self.relationship = relationship
+        #: What we last advertised to this peer, per prefix.
+        self.adj_rib_out: Dict[Prefix, Announcement] = {}
+        #: Prefixes whose advertisement to this peer must be re-evaluated.
+        self.dirty: Set[Prefix] = set()
+        self.next_allowed_send = 0.0
+        self.flush_scheduled = False
+
+
+class BGPSpeaker:
+    """One AS's BGP router (the model collapses each AS to one speaker)."""
+
+    def __init__(
+        self,
+        asn: int,
+        engine: Engine,
+        policy: Optional[Policy] = None,
+        rng: Optional[SeededRNG] = None,
+        tracker: Optional[ActivityTracker] = None,
+        processing_delay: Optional[Delay] = None,
+        mrai: Optional[Delay] = None,
+    ):
+        self.asn = int(asn)
+        self.engine = engine
+        self.policy = policy or Policy()
+        self.rng = rng or SeededRNG(self.asn)
+        self.tracker = tracker
+        #: Per-UPDATE processing time at this router.
+        self.processing_delay = processing_delay or Constant(0.1)
+        #: Minimum route advertisement interval towards each peer.
+        self.mrai = mrai or Constant(5.0)
+        self.peers: Dict[int, PeerState] = {}
+        self.adj_rib_in = AdjRibIn()
+        self.loc_rib = LocRib()
+        self._local_routes: Dict[Prefix, Route] = {}
+        self._best_change_callbacks: List[BestChangeCallback] = []
+        self.updates_received = 0
+        self.updates_sent = 0
+
+    # ------------------------------------------------------------------ wiring
+
+    def add_peer(self, session: Session, relationship: Relationship) -> None:
+        """Register a neighbor session; sends the current table to it.
+
+        ``relationship`` is *this* speaker's view of the neighbor.
+        """
+        peer = session.other(self.asn)
+        if peer.asn in self.peers:
+            raise BGPError(f"AS{self.asn} already has a session with AS{peer.asn}")
+        state = PeerState(session, relationship)
+        self.peers[peer.asn] = state
+        # Initial table exchange: everything currently best is candidate
+        # for advertisement to the new neighbor.
+        for prefix in list(self.loc_rib.prefixes()):
+            state.dirty.add(prefix)
+        if state.dirty:
+            self._schedule_flush(peer.asn)
+
+    def remove_peer(self, peer_asn: int) -> None:
+        """Session teardown: drop all state learned from / sent to the peer."""
+        state = self.peers.pop(peer_asn, None)
+        if state is None:
+            raise BGPError(f"AS{self.asn} has no session with AS{peer_asn}")
+        for prefix in self.adj_rib_in.drop_peer(peer_asn):
+            self._run_decision(prefix)
+
+    def on_best_change(self, callback: BestChangeCallback) -> None:
+        """Subscribe to Loc-RIB changes (used by feeds and bookkeeping)."""
+        self._best_change_callbacks.append(callback)
+
+    # --------------------------------------------------------------- origination
+
+    def originate(self, prefix: Prefix) -> None:
+        """Start announcing ``prefix`` as its origin AS."""
+        if prefix in self._local_routes:
+            return
+        self._local_routes[prefix] = Route.local(prefix)
+        self._run_decision(prefix)
+
+    def originate_forged(self, prefix: Prefix, path_suffix: Sequence[int]) -> None:
+        """Announce ``prefix`` with a *forged* AS-path tail (an attack).
+
+        Models type-1/type-N hijacking: the attacker claims a path ending at
+        the legitimate origin (``path_suffix[-1]``), so origin-AS checks
+        pass and only path (first-hop) validation can catch it.  Exports
+        prepend this speaker's ASN as usual, producing
+        ``[attacker, *path_suffix]`` on the wire.  The legitimate origin
+        itself discards the announcement via standard loop detection.
+        """
+        if not path_suffix:
+            raise BGPError("a forged path needs at least the claimed origin")
+        if int(path_suffix[0]) == self.asn:
+            raise BGPError("forged path must not start with the attacker's ASN")
+        if prefix in self._local_routes:
+            raise BGPError(f"AS{self.asn} already originates {prefix}")
+        self._local_routes[prefix] = Route(
+            prefix,
+            tuple(int(a) for a in path_suffix),
+            peer_asn=None,
+            local_pref=1_000_000,
+            learned_at=self.engine.now,
+        )
+        self._run_decision(prefix)
+
+    def withdraw_origin(self, prefix: Prefix) -> None:
+        """Stop announcing a locally originated ``prefix``."""
+        if self._local_routes.pop(prefix, None) is None:
+            raise BGPError(f"AS{self.asn} does not originate {prefix}")
+        self._run_decision(prefix)
+
+    @property
+    def originated_prefixes(self) -> List[Prefix]:
+        return list(self._local_routes)
+
+    def originates(self, prefix: Prefix) -> bool:
+        """True if this speaker currently originates ``prefix``."""
+        return prefix in self._local_routes
+
+    # ---------------------------------------------------------------- reception
+
+    def deliver(self, sender_asn: int, message: UpdateMessage) -> None:
+        """Session delivery entry point; processing happens after a delay."""
+        if sender_asn not in self.peers:
+            # Session was removed while the message was in flight.
+            return
+        delay = self.processing_delay.sample(self.rng)
+        if self.tracker is not None:
+            self.tracker.begin()
+
+        def process() -> None:
+            try:
+                self._process_update(sender_asn, message)
+            finally:
+                if self.tracker is not None:
+                    self.tracker.end()
+
+        self.engine.schedule(delay, process)
+
+    def _process_update(self, sender_asn: int, message: UpdateMessage) -> None:
+        state = self.peers.get(sender_asn)
+        if state is None:
+            return
+        self.updates_received += 1
+        touched: List[Prefix] = []
+        for withdrawal in message.withdrawals:
+            removed = self.adj_rib_in.withdraw(sender_asn, withdrawal.prefix)
+            if removed is not None:
+                touched.append(withdrawal.prefix)
+        for announcement in message.announcements:
+            if announcement.has_loop(self.asn):
+                continue
+            if not self.policy.accept_import(announcement, state.relationship):
+                # A rejected announcement still implicitly withdraws any
+                # previously accepted route for the prefix from this peer.
+                if self.adj_rib_in.withdraw(sender_asn, announcement.prefix):
+                    touched.append(announcement.prefix)
+                continue
+            route = Route.from_announcement(
+                announcement,
+                peer_asn=sender_asn,
+                local_pref=self.policy.import_local_pref(state.relationship),
+                learned_at=self.engine.now,
+            )
+            self.adj_rib_in.insert(route)
+            touched.append(announcement.prefix)
+        for prefix in touched:
+            self._run_decision(prefix)
+
+    # ----------------------------------------------------------------- decision
+
+    def _candidates(self, prefix: Prefix) -> List[Route]:
+        routes = self.adj_rib_in.candidates(prefix)
+        local = self._local_routes.get(prefix)
+        if local is not None:
+            routes.append(local)
+        return routes
+
+    def _run_decision(self, prefix: Prefix) -> None:
+        old = self.loc_rib.get(prefix)
+        best = select_best(self._candidates(prefix))
+        if best is old:
+            return
+        if best is not None and old is not None and best.same_attributes(old):
+            # Same path re-learned (e.g. duplicate announcement): refresh the
+            # stored object but generate no churn.
+            self.loc_rib.install(best)
+            return
+        if best is None:
+            self.loc_rib.remove(prefix)
+        else:
+            self.loc_rib.install(best)
+        for callback in self._best_change_callbacks:
+            callback(self, prefix, best, old)
+        self._mark_exports(prefix)
+
+    # ------------------------------------------------------------------- export
+
+    def _exportable(self, route: Optional[Route], state: PeerState) -> bool:
+        if route is None:
+            return False
+        learned_from = (
+            None
+            if route.is_local
+            else self.peers[route.peer_asn].relationship
+            if route.peer_asn in self.peers
+            else None
+        )
+        return self.policy.should_export(learned_from, state.relationship)
+
+    def _mark_exports(self, prefix: Prefix) -> None:
+        for peer_asn, state in self.peers.items():
+            state.dirty.add(prefix)
+            self._schedule_flush(peer_asn)
+
+    def _schedule_flush(self, peer_asn: int) -> None:
+        state = self.peers[peer_asn]
+        if state.flush_scheduled or not state.dirty:
+            return
+        state.flush_scheduled = True
+        when = max(self.engine.now, state.next_allowed_send)
+        if self.tracker is not None:
+            self.tracker.begin()
+
+        def flush() -> None:
+            try:
+                self._flush(peer_asn)
+            finally:
+                if self.tracker is not None:
+                    self.tracker.end()
+
+        self.engine.schedule_at(when, flush)
+
+    def _flush(self, peer_asn: int) -> None:
+        state = self.peers.get(peer_asn)
+        if state is None:
+            return
+        state.flush_scheduled = False
+        announcements: List[Announcement] = []
+        withdrawals: List[Withdrawal] = []
+        for prefix in sorted(state.dirty):
+            best = self.loc_rib.get(prefix)
+            previous = state.adj_rib_out.get(prefix)
+            if self._exportable(best, state):
+                # Do not announce a route back to the peer it came from
+                # (split horizon; the peer would reject it on loop check
+                # anyway, this just saves messages).
+                if best is not None and best.peer_asn == peer_asn:
+                    if previous is not None:
+                        withdrawals.append(Withdrawal(prefix))
+                        del state.adj_rib_out[prefix]
+                    continue
+                announcement = best.to_announcement(self.asn)
+                if previous is not None and previous == announcement:
+                    continue
+                announcements.append(announcement)
+                state.adj_rib_out[prefix] = announcement
+            elif previous is not None:
+                withdrawals.append(Withdrawal(prefix))
+                del state.adj_rib_out[prefix]
+        state.dirty.clear()
+        if announcements or withdrawals:
+            message = UpdateMessage(self.asn, announcements, withdrawals)
+            self.updates_sent += 1
+            state.session.send(self.asn, message)
+            state.next_allowed_send = self.engine.now + self.mrai.sample(self.rng)
+
+    # ------------------------------------------------------------- introspection
+
+    def best_route(self, prefix: Prefix) -> Optional[Route]:
+        """The installed best route for exactly ``prefix``."""
+        return self.loc_rib.get(prefix)
+
+    def resolve(self, target: Union[Address, Prefix, str]) -> Optional[Route]:
+        """Longest-prefix-match resolution (data-plane view)."""
+        return self.loc_rib.resolve(target)
+
+    def resolve_origin(self, target: Union[Address, Prefix, str]) -> Optional[int]:
+        """Which origin AS this speaker currently routes ``target`` towards.
+
+        Returns this speaker's own ASN for locally originated space and
+        ``None`` when no route covers the target.
+        """
+        route = self.resolve(target)
+        if route is None:
+            return None
+        return route.origin_as if route.as_path else self.asn
+
+    def table_dump(self) -> List[Route]:
+        """A RIB snapshot (used by batch feeds and looking glasses)."""
+        return list(self.loc_rib.routes())
+
+    def __repr__(self) -> str:
+        return (
+            f"<BGPSpeaker AS{self.asn} peers={len(self.peers)} "
+            f"rib={len(self.loc_rib)}>"
+        )

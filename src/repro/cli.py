@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiment``
+    Run one three-phase hijack experiment and print the full report.
+``suite``
+    Run N seeded experiments and print the §3 summary tables.
+``baselines``
+    Compare ARTEMIS against the third-party pipelines on the same hijack.
+``demo``
+    Render the SIGCOMM demo's geographic frames (ASCII and optional JSON).
+``topology``
+    Generate a synthetic Internet and write it as a CAIDA as-rel file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.baselines.factories import FACTORIES
+from repro.baselines.runner import BaselineExperiment
+from repro.eval.experiments import (
+    per_source_detection,
+    run_artemis_suite,
+    summarize_results,
+)
+from repro.eval.report import format_duration, format_table, summary_rows
+from repro.testbed.scenario import HijackExperiment, ScenarioConfig
+from repro.topology.generator import GeneratorConfig, generate_internet
+from repro.topology.serial import save_caida
+from repro.viz.geomap import GeoMapRenderer
+from repro.viz.timeline import render_experiment_report
+
+
+def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+    parser.add_argument("--prefix", default="10.0.0.0/23", help="owned prefix")
+    parser.add_argument(
+        "--hijack-prefix",
+        default=None,
+        help="what the hijacker announces (default: the owned prefix)",
+    )
+    parser.add_argument("--tier1", type=int, default=5, help="number of tier-1 ASes")
+    parser.add_argument("--tier2", type=int, default=25, help="number of tier-2 ASes")
+    parser.add_argument("--stubs", type=int, default=90, help="number of stub ASes")
+    parser.add_argument(
+        "--no-churn", action="store_true", help="disable background churn"
+    )
+    parser.add_argument(
+        "--forge-origin",
+        action="store_true",
+        help="type-1 hijack: forge the victim as path origin",
+    )
+    parser.add_argument(
+        "--helpers", type=int, default=0, help="outsourced-mitigation helper ASes"
+    )
+
+
+def _scenario_from_args(args: argparse.Namespace, seed: Optional[int] = None) -> ScenarioConfig:
+    return ScenarioConfig(
+        prefix=args.prefix,
+        hijack_prefix=args.hijack_prefix,
+        seed=args.seed if seed is None else seed,
+        topology=GeneratorConfig(
+            num_tier1=args.tier1, num_tier2=args.tier2, num_stubs=args.stubs
+        ),
+        churn=None if args.no_churn else ScenarioConfig().churn,
+        churn_warmup=0.0 if args.no_churn else 180.0,
+        forge_origin=args.forge_origin,
+        num_helpers=args.helpers,
+    )
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one three-phase hijack experiment and print the report."""
+    experiment = HijackExperiment(_scenario_from_args(args))
+    result = experiment.run()
+    print(render_experiment_report(result))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"\nresult written to {args.json}")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    """Run a suite of seeded experiments and print summary tables."""
+    template = _scenario_from_args(args, seed=0)
+    results = run_artemis_suite(
+        template,
+        seeds=range(args.runs),
+        on_result=lambda r: print(
+            f"  seed {r.seed}: detect={format_duration(r.detection_delay)} "
+            f"total={format_duration(r.total_time)}"
+        ),
+    )
+    print()
+    print(
+        format_table(
+            ["metric", "n", "mean (s)", "median (s)", "p95 (s)", "max (s)"],
+            summary_rows(summarize_results(results)),
+            title=f"timings over {args.runs} experiments",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["source", "n", "mean (s)", "median (s)", "p95 (s)", "max (s)"],
+            summary_rows(per_source_detection(results)),
+            title="detection delay per source",
+        )
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump([r.to_dict() for r in results], handle, indent=2)
+        print(f"\nresults written to {args.json}")
+    return 0
+
+
+def cmd_baselines(args: argparse.Namespace) -> int:
+    """Compare ARTEMIS against third-party pipelines on one hijack."""
+    artemis_result = HijackExperiment(_scenario_from_args(args)).run()
+    rows = [
+        [
+            "artemis",
+            (artemis_result.detection_delay or 0) / 60.0,
+            (artemis_result.announce_delay or 0) / 60.0,
+            (artemis_result.total_time or 0) / 60.0,
+        ]
+    ]
+    for name in args.systems:
+        factory = FACTORIES[name]
+        result = BaselineExperiment(_scenario_from_args(args), factory).run()
+        rows.append(
+            [
+                name,
+                (result.detection_delay or 0) / 60.0,
+                (result.reaction_delay or 0) / 60.0,
+                (result.total_time or 0) / 60.0 if result.total_time else None,
+            ]
+        )
+    print(
+        format_table(
+            ["system", "detect (min)", "reaction (min)", "total (min)"],
+            rows,
+            title="ARTEMIS vs third-party + manual pipelines",
+            precision=2,
+        )
+    )
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Render the demo's geographic frames (ASCII / JSON / HTML)."""
+    experiment = HijackExperiment(_scenario_from_args(args))
+    result = experiment.run()
+    renderer = GeoMapRenderer(
+        experiment.network.graph, legit_origins={experiment.victim.asn}
+    )
+    transitions = [
+        t
+        for t in experiment.artemis.monitoring.transitions
+        if t[0] >= result.hijack_time
+    ]
+    initial = {
+        vantage: origin
+        for when, vantage, _prefix, origin in experiment.artemis.monitoring.transitions
+        if when < result.hijack_time
+    }
+    frames = renderer.frames_from_transitions(
+        transitions, initial=initial, max_frames=args.frames
+    )
+    for when, origins in frames:
+        print()
+        print(
+            renderer.ascii_frame(
+                origins, caption=f"t = {when - result.hijack_time:+.1f}s vs hijack"
+            )
+        )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(renderer.to_json(frames))
+        print(f"\nframes written to {args.json}")
+    if args.html:
+        from repro.viz.html import save_html
+
+        save_html(args.html, renderer, frames)
+        print(f"interactive map written to {args.html}")
+    return 0
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    """Generate a synthetic Internet as a CAIDA as-rel file."""
+    graph = generate_internet(
+        GeneratorConfig(
+            num_tier1=args.tier1, num_tier2=args.tier2, num_stubs=args.stubs
+        ),
+        seed=args.seed,
+    )
+    save_caida(graph, args.output)
+    print(f"{len(graph)} ASes, {graph.link_count()} links -> {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ARTEMIS reproduction: BGP hijack detection & mitigation",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one hijack experiment"
+    )
+    _add_world_arguments(experiment)
+    experiment.add_argument("--json", default=None, help="write result JSON here")
+    experiment.set_defaults(func=cmd_experiment)
+
+    suite = commands.add_parser("suite", help="run a suite of experiments")
+    _add_world_arguments(suite)
+    suite.add_argument("--runs", type=int, default=10, help="number of seeds")
+    suite.add_argument("--json", default=None, help="write results JSON here")
+    suite.set_defaults(func=cmd_suite)
+
+    baselines = commands.add_parser(
+        "baselines", help="compare against third-party pipelines"
+    )
+    _add_world_arguments(baselines)
+    baselines.add_argument(
+        "--systems",
+        nargs="+",
+        default=["argus", "phas"],
+        choices=sorted(FACTORIES),
+        help="which baselines to run",
+    )
+    baselines.set_defaults(func=cmd_baselines)
+
+    demo = commands.add_parser("demo", help="render the demo's map frames")
+    _add_world_arguments(demo)
+    demo.add_argument("--frames", type=int, default=6, help="number of frames")
+    demo.add_argument("--json", default=None, help="write frame JSON here")
+    demo.add_argument(
+        "--html", default=None, help="write a self-contained interactive map here"
+    )
+    demo.set_defaults(func=cmd_demo)
+
+    topology = commands.add_parser(
+        "topology", help="generate a CAIDA as-rel topology file"
+    )
+    topology.add_argument("--seed", type=int, default=1)
+    topology.add_argument("--tier1", type=int, default=5)
+    topology.add_argument("--tier2", type=int, default=25)
+    topology.add_argument("--stubs", type=int, default=90)
+    topology.add_argument("output", help="output path")
+    topology.set_defaults(func=cmd_topology)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""ARTEMIS: the paper's contribution.
+
+Automatic and Real-Time dEtection and MItigation System for BGP prefix
+hijacking, run by the prefix owner itself:
+
+* :class:`~repro.core.config.ArtemisConfig` — which prefixes we own, who may
+  originate them, which sources to watch, how to mitigate;
+* :class:`~repro.core.detection.DetectionService` — consumes feed events
+  from all sources, raises :class:`~repro.core.alerts.HijackAlert` on the
+  first evidence of an illegitimate announcement (delay = min over sources);
+* :class:`~repro.core.mitigation.MitigationService` — answers an alert by
+  announcing de-aggregated sub-prefixes through the SDN controller;
+* :class:`~repro.core.monitoring.MonitoringService` — tracks which origin
+  every vantage point currently selects, before/during/after mitigation;
+* :class:`~repro.core.artemis.Artemis` — wires the three services together.
+"""
+
+from repro.core.alerts import AlertManager, AlertStatus, AlertType, HijackAlert
+from repro.core.artemis import Artemis
+from repro.core.config import ArtemisConfig, OwnedPrefix
+from repro.core.detection import DetectionService
+from repro.core.log import IncidentLog
+from repro.core.mitigation import HelperFleet, MitigationAction, MitigationService
+from repro.core.monitoring import MonitoringService, VantageState
+
+__all__ = [
+    "AlertManager",
+    "AlertStatus",
+    "AlertType",
+    "Artemis",
+    "ArtemisConfig",
+    "DetectionService",
+    "HelperFleet",
+    "HijackAlert",
+    "IncidentLog",
+    "MitigationAction",
+    "MitigationService",
+    "MonitoringService",
+    "OwnedPrefix",
+    "VantageState",
+]

@@ -1,0 +1,114 @@
+"""The ARTEMIS application: detection + mitigation + monitoring, wired.
+
+Mirrors Fig. 1 of the paper: the detection service consumes all sources
+continuously; a new alert triggers the mitigation service (when
+``auto_mitigate`` is on) which programs de-aggregated announcements through
+the controller; the monitoring service runs in parallel throughout and
+reports the mitigation's spread.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.alerts import HijackAlert
+from repro.core.config import ArtemisConfig
+from repro.core.detection import DetectionService
+from repro.core.mitigation import MitigationAction, MitigationService
+from repro.core.monitoring import MonitoringService
+from repro.errors import ConfigError
+from repro.sdn.controller import BGPController
+
+
+class Artemis:
+    """Top-level ARTEMIS instance for one operator."""
+
+    def __init__(
+        self,
+        config: ArtemisConfig,
+        controller: BGPController,
+        sources: Sequence,
+        periscope=None,
+        helpers=None,
+    ):
+        """``sources`` are the live feeds for detection+monitoring.
+
+        Pass the Periscope API separately (or include it in ``sources``);
+        when given, :meth:`start` also begins polling the owned prefixes —
+        streams are push-based, looking glasses must be asked.  ``helpers``
+        is an optional :class:`~repro.core.mitigation.HelperFleet` for
+        outsourced mitigation of not-fully-recoverable hijacks.
+        """
+        self.config = config
+        self.controller = controller
+        self.sources = list(sources)
+        self.periscope = periscope
+        if periscope is not None and periscope not in self.sources:
+            self.sources.append(periscope)
+        if not self.sources:
+            raise ConfigError("ARTEMIS needs at least one monitoring source")
+        self.detection = DetectionService(config)
+        self.mitigation = MitigationService(config, controller, helpers=helpers)
+        self.monitoring = MonitoringService(config)
+        self._alert_callbacks: List[Callable[[HijackAlert], None]] = []
+        self._running = False
+        self.detection.on_alert(self._handle_alert)
+        # Structured audit trail, always on (operators need the history).
+        from repro.core.log import IncidentLog
+
+        self.log = IncidentLog(self)
+
+    # ----------------------------------------------------------------- control
+
+    def start(self) -> None:
+        """Begin continuous detection and monitoring."""
+        if self._running:
+            return
+        self._running = True
+        self.detection.start(self.sources)
+        self.monitoring.start(self.sources)
+        if self.periscope is not None:
+            self.periscope.watch(self.config.owned_prefixes)
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self.detection.stop()
+        self.monitoring.stop()
+        if self.periscope is not None:
+            self.periscope.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def on_alert(self, callback: Callable[[HijackAlert], None]) -> None:
+        """Observer hook: fires for each new incident (after auto-mitigation
+        has been triggered, so ``alert.status`` reflects what ARTEMIS did)."""
+        self._alert_callbacks.append(callback)
+
+    # ------------------------------------------------------------------ alerts
+
+    def _handle_alert(self, alert: HijackAlert) -> None:
+        if self.config.auto_mitigate:
+            self.mitigation.execute(alert)
+        for callback in self._alert_callbacks:
+            callback(alert)
+
+    # ------------------------------------------------------------------- views
+
+    @property
+    def alerts(self) -> List[HijackAlert]:
+        return self.detection.alert_manager.alerts
+
+    @property
+    def actions(self) -> List[MitigationAction]:
+        return self.mitigation.actions
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else "stopped"
+        return (
+            f"<Artemis {state} owned={len(self.config.owned)} "
+            f"sources={len(self.sources)} alerts={len(self.alerts)}>"
+        )

@@ -1,0 +1,179 @@
+"""ARTEMIS configuration.
+
+The operator declares ground truth about their own network — which prefixes
+they own, which ASNs may legitimately originate them, and (optionally) which
+upstreams should appear as first hop — plus operational knobs for detection
+and mitigation.  Because the configuration comes from the operator
+themselves, detection needs no third-party verification step: any
+announcement contradicting it is by definition an incident (this is the core
+argument of the ARTEMIS approach).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+
+class OwnedPrefix:
+    """One owned prefix with its legitimacy ground truth.
+
+    ``legit_origins`` — ASNs allowed to originate the prefix (usually just
+    the operator's ASN; anycast or multi-origin setups list several).
+    ``legit_upstreams`` — if given, the set of neighbor ASNs that may appear
+    adjacent to a legit origin in an AS path; enables path (type-1 hijack)
+    detection, an extension beyond the demo's origin check.
+    """
+
+    __slots__ = ("prefix", "legit_origins", "legit_upstreams", "description")
+
+    def __init__(
+        self,
+        prefix: Union[Prefix, str],
+        legit_origins: Iterable[int],
+        legit_upstreams: Optional[Iterable[int]] = None,
+        description: str = "",
+    ):
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self.prefix = prefix
+        self.legit_origins: FrozenSet[int] = frozenset(int(a) for a in legit_origins)
+        if not self.legit_origins:
+            raise ConfigError(f"owned prefix {prefix} needs at least one legit origin")
+        self.legit_upstreams: Optional[FrozenSet[int]] = (
+            frozenset(int(a) for a in legit_upstreams)
+            if legit_upstreams is not None
+            else None
+        )
+        self.description = description
+
+    def origin_is_legit(self, origin_asn: Optional[int]) -> bool:
+        return origin_asn is not None and int(origin_asn) in self.legit_origins
+
+    def upstream_is_legit(self, upstream_asn: int) -> bool:
+        """True when path checking is off or the upstream is whitelisted."""
+        if self.legit_upstreams is None:
+            return True
+        return int(upstream_asn) in self.legit_upstreams
+
+    def to_dict(self) -> Dict:
+        data: Dict = {
+            "prefix": str(self.prefix),
+            "legit_origins": sorted(self.legit_origins),
+        }
+        if self.legit_upstreams is not None:
+            data["legit_upstreams"] = sorted(self.legit_upstreams)
+        if self.description:
+            data["description"] = self.description
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "OwnedPrefix":
+        try:
+            return cls(
+                data["prefix"],
+                data["legit_origins"],
+                data.get("legit_upstreams"),
+                data.get("description", ""),
+            )
+        except KeyError as missing:
+            raise ConfigError(f"owned prefix entry missing key {missing}") from None
+
+    def __repr__(self) -> str:
+        origins = ",".join(str(a) for a in sorted(self.legit_origins))
+        return f"OwnedPrefix({self.prefix} origins=[{origins}])"
+
+
+class ArtemisConfig:
+    """Full ARTEMIS configuration."""
+
+    def __init__(
+        self,
+        owned: Sequence[OwnedPrefix],
+        auto_mitigate: bool = True,
+        max_announce_length_v4: int = 24,
+        max_announce_length_v6: int = 48,
+        deaggregation_levels: int = 1,
+        detect_subprefix: bool = True,
+        detect_path: bool = True,
+        alert_cooldown: float = 0.0,
+    ):
+        if not owned:
+            raise ConfigError("ARTEMIS needs at least one owned prefix")
+        self.owned: List[OwnedPrefix] = list(owned)
+        self._trie: PrefixTrie[OwnedPrefix] = PrefixTrie()
+        for entry in self.owned:
+            if entry.prefix in self._trie:
+                raise ConfigError(f"duplicate owned prefix {entry.prefix}")
+            self._trie[entry.prefix] = entry
+        #: Announce nothing more specific than this (ISP filtering reality).
+        self.max_announce_length_v4 = int(max_announce_length_v4)
+        self.max_announce_length_v6 = int(max_announce_length_v6)
+        #: How many levels to split on mitigation (1 → /23 becomes two /24s).
+        if deaggregation_levels < 1:
+            raise ConfigError("deaggregation_levels must be >= 1")
+        self.deaggregation_levels = int(deaggregation_levels)
+        self.auto_mitigate = bool(auto_mitigate)
+        self.detect_subprefix = bool(detect_subprefix)
+        self.detect_path = bool(detect_path)
+        #: Suppress duplicate alerts for the same incident within this window.
+        if alert_cooldown < 0:
+            raise ConfigError("alert_cooldown must be non-negative")
+        self.alert_cooldown = float(alert_cooldown)
+
+    # ------------------------------------------------------------------ lookup
+
+    @property
+    def owned_prefixes(self) -> List[Prefix]:
+        return [entry.prefix for entry in self.owned]
+
+    def entry_for(self, prefix: Prefix) -> Optional[OwnedPrefix]:
+        """Exact owned entry for ``prefix``, if configured."""
+        return self._trie.get(prefix)
+
+    def covering_entry(self, prefix: Prefix) -> Optional[OwnedPrefix]:
+        """The most specific owned prefix covering ``prefix`` (or None)."""
+        match = self._trie.longest_match(prefix)
+        return match[1] if match else None
+
+    def max_announce_length(self, version: int) -> int:
+        return self.max_announce_length_v4 if version == 4 else self.max_announce_length_v6
+
+    # ------------------------------------------------------------- persistence
+
+    def to_dict(self) -> Dict:
+        return {
+            "owned": [entry.to_dict() for entry in self.owned],
+            "auto_mitigate": self.auto_mitigate,
+            "max_announce_length_v4": self.max_announce_length_v4,
+            "max_announce_length_v6": self.max_announce_length_v6,
+            "deaggregation_levels": self.deaggregation_levels,
+            "detect_subprefix": self.detect_subprefix,
+            "detect_path": self.detect_path,
+            "alert_cooldown": self.alert_cooldown,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ArtemisConfig":
+        if "owned" not in data:
+            raise ConfigError("config missing 'owned' prefix list")
+        owned = [OwnedPrefix.from_dict(entry) for entry in data["owned"]]
+        return cls(
+            owned,
+            auto_mitigate=data.get("auto_mitigate", True),
+            max_announce_length_v4=data.get("max_announce_length_v4", 24),
+            max_announce_length_v6=data.get("max_announce_length_v6", 48),
+            deaggregation_levels=data.get("deaggregation_levels", 1),
+            detect_subprefix=data.get("detect_subprefix", True),
+            detect_path=data.get("detect_path", True),
+            alert_cooldown=data.get("alert_cooldown", 0.0),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtemisConfig({len(self.owned)} owned prefixes, "
+            f"auto_mitigate={self.auto_mitigate})"
+        )

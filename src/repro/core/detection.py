@@ -1,0 +1,146 @@
+"""The ARTEMIS detection service.
+
+Runs continuously over every configured source (RIS stream, BGPmon stream,
+Periscope looking glasses) with a server-side filter on the owned prefixes.
+Each arriving feed event is checked against the operator's ground truth:
+
+* announced prefix **equals** an owned prefix and the origin is not in its
+  legit set → ``EXACT_ORIGIN`` alert (the demo's Phase-2 detection);
+* announced prefix is **more specific** than an owned prefix and the origin
+  is not legit → ``SUB_PREFIX`` alert;
+* origin legit but the AS adjacent to it is not a configured upstream →
+  ``PATH`` (type-1) alert — extension beyond the demo.
+
+Because the sources are independent, the incident's detection delay is the
+minimum of the per-source delays (paper §2); the service records the first
+evidence per source so experiment E2 can compare them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.alerts import AlertManager, AlertType, HijackAlert
+from repro.core.config import ArtemisConfig
+from repro.feeds.events import FeedEvent
+
+AlertCallback = Callable[[HijackAlert], None]
+
+
+class DetectionService:
+    """Classifies feed events against the owned-prefix ground truth."""
+
+    def __init__(self, config: ArtemisConfig):
+        self.config = config
+        self.alert_manager = AlertManager(cooldown=config.alert_cooldown)
+        self._callbacks: List[AlertCallback] = []
+        self.events_checked = 0
+        #: Per (incident key, source): first evidence delivery time — the
+        #: raw material for the per-source delay comparison (E2).
+        self.first_evidence: Dict[Tuple, Dict[str, float]] = {}
+        self.started = False
+        self._subscriptions = []
+
+    # ------------------------------------------------------------------ wiring
+
+    def on_alert(self, callback: AlertCallback) -> None:
+        """Called once per *new* incident (not per evidence event)."""
+        self._callbacks.append(callback)
+
+    def start(self, sources: List) -> None:
+        """Subscribe to every source, filtered to the owned prefixes.
+
+        Each source must expose ``subscribe(callback, prefixes=...)`` —
+        streams, Periscope, and batch archives all do.
+        """
+        if self.started:
+            return
+        self.started = True
+        prefixes = self.config.owned_prefixes
+        for source in sources:
+            self._subscriptions.append(
+                source.subscribe(self.handle_event, prefixes=prefixes)
+            )
+
+    def stop(self) -> None:
+        for subscription in self._subscriptions:
+            subscription.active = False
+        self._subscriptions.clear()
+        self.started = False
+
+    # --------------------------------------------------------------- detection
+
+    def handle_event(self, event: FeedEvent) -> None:
+        """Inspect one feed event; raise/extend alerts as needed."""
+        self.events_checked += 1
+        if not event.is_announcement:
+            return
+        verdict = self.classify(event)
+        if verdict is None:
+            return
+        alert_type, owned_prefix, offender = verdict
+        alert, is_new = self.alert_manager.ingest(
+            alert_type, owned_prefix, event.prefix, offender, event
+        )
+        per_source = self.first_evidence.setdefault(alert.key, {})
+        if event.source not in per_source:
+            per_source[event.source] = event.delivered_at
+        if is_new:
+            for callback in self._callbacks:
+                callback(alert)
+
+    def classify(
+        self, event: FeedEvent
+    ) -> Optional[Tuple[AlertType, "Prefix", Optional[int]]]:
+        """Pure classification: ``(type, owned_prefix, offender)`` or None."""
+        entry = self.config.entry_for(event.prefix)
+        if entry is not None:
+            # Exact announcement of an owned prefix.
+            if not entry.origin_is_legit(event.origin_as):
+                return AlertType.EXACT_ORIGIN, entry.prefix, event.origin_as
+            return self._check_path(event, entry)
+        covering = self.config.covering_entry(event.prefix)
+        if covering is not None and event.prefix.is_more_specific_of(covering.prefix):
+            # A more-specific inside owned space, not configured by us.
+            if not covering.origin_is_legit(event.origin_as):
+                if self.config.detect_subprefix:
+                    return AlertType.SUB_PREFIX, covering.prefix, event.origin_as
+                return None
+            return self._check_path(event, covering)
+        return None
+
+    def _check_path(
+        self, event: FeedEvent, entry
+    ) -> Optional[Tuple[AlertType, "Prefix", Optional[int]]]:
+        """Type-1 (first hop) check for a legit-origin announcement."""
+        if not self.config.detect_path or entry.legit_upstreams is None:
+            return None
+        path = event.as_path
+        if len(path) < 2:
+            return None
+        upstream = path[-2]
+        if entry.upstream_is_legit(upstream):
+            return None
+        return AlertType.PATH, entry.prefix, upstream
+
+    # ------------------------------------------------------------------- stats
+
+    def per_source_delay(
+        self, alert: HijackAlert, reference_time: float
+    ) -> Dict[str, float]:
+        """Detection delay each source achieved for ``alert``'s incident.
+
+        ``reference_time`` is the ground-truth incident start (the hijack
+        announcement time); sources that never reported it are absent.
+        """
+        per_source = self.first_evidence.get(alert.key, {})
+        return {
+            source: delivered - reference_time
+            for source, delivered in sorted(per_source.items())
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<DetectionService checked={self.events_checked} "
+            f"alerts={len(self.alert_manager)}>"
+        )

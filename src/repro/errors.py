@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PrefixError(ReproError, ValueError):
+    """An IP prefix string or operation is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class TopologyError(ReproError):
+    """An AS topology is malformed or an AS/link lookup failed."""
+
+
+class BGPError(ReproError):
+    """A BGP message, route, or session operation is invalid."""
+
+
+class FeedError(ReproError):
+    """A monitoring feed was configured or queried incorrectly."""
+
+
+class ConfigError(ReproError):
+    """An ARTEMIS configuration file or object is invalid."""
+
+
+class MitigationError(ReproError):
+    """A mitigation action could not be computed or executed."""
+
+
+class TestbedError(ReproError):
+    """A testbed (virtual AS / experiment) operation failed."""
+
+    # The "Test" name prefix is domain vocabulary, not a pytest test class.
+    __test__ = False
+
+
+class ExperimentError(ReproError):
+    """An evaluation experiment was configured or run incorrectly."""

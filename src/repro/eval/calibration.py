@@ -1,0 +1,97 @@
+"""Calibration bands and compliance checking.
+
+The simulator's default timing constants (processing delay, MRAI, feed
+latencies, controller programming, churn rate) were calibrated so the
+default scenario reproduces the paper's regime.  This module pins the
+acceptance bands *as code*, so any future change to a default constant
+that silently breaks the reproduction is caught by
+``tests/test_calibration.py`` rather than by a reviewer squinting at
+bench output.
+
+Bands are deliberately generous (they accept the paper's numbers and ours)
+but directional violations — e.g. detection slower than completion — fail
+hard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.eval.stats import summarize
+from repro.testbed.scenario import ExperimentResult
+
+#: metric → (low, high) acceptance band for the MEAN over a default suite,
+#: in seconds.
+DEFAULT_BANDS: Dict[str, tuple] = {
+    # Paper: ≈45 s; band: anywhere clearly sub-2-minutes but not instant.
+    "detection_delay": (5.0, 120.0),
+    # Paper: ≈15 s controller programming.
+    "announce_delay": (8.0, 25.0),
+    # Paper: "within 5 mins".
+    "completion_delay": (60.0, 300.0),
+    # Paper: ≈6 min total.
+    "total_time": (90.0, 480.0),
+}
+
+
+class CalibrationReport:
+    """Outcome of a calibration check."""
+
+    def __init__(self) -> None:
+        self.means: Dict[str, float] = {}
+        self.violations: List[str] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:
+        state = "OK" if self.ok else f"{len(self.violations)} violations"
+        return f"<CalibrationReport {state}>"
+
+    def to_text(self) -> str:
+        lines = [
+            f"{name}: mean={mean:.1f}s band={DEFAULT_BANDS.get(name)}"
+            for name, mean in sorted(self.means.items())
+        ]
+        lines += [f"VIOLATION: {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def check_calibration(
+    results: Sequence[ExperimentResult],
+    bands: Dict[str, tuple] = None,
+) -> CalibrationReport:
+    """Check a default-configuration suite against the acceptance bands."""
+    bands = bands or DEFAULT_BANDS
+    report = CalibrationReport()
+    if not results:
+        report.violations.append("no results to check")
+        return report
+    for name, (low, high) in bands.items():
+        summary = summarize(getattr(r, name, None) for r in results)
+        if summary.count == 0:
+            report.violations.append(f"{name}: no run produced a value")
+            continue
+        report.means[name] = summary.mean
+        if not low <= summary.mean <= high:
+            report.violations.append(
+                f"{name}: mean {summary.mean:.1f}s outside [{low}, {high}]"
+            )
+    # Directional structure of the paper's timings.
+    detect = report.means.get("detection_delay")
+    complete = report.means.get("completion_delay")
+    total = report.means.get("total_time")
+    if detect is not None and complete is not None and complete <= detect:
+        report.violations.append(
+            "completion must dominate detection (max-over-routers vs "
+            "min-over-vantages)"
+        )
+    if total is not None and detect is not None and total <= detect:
+        report.violations.append("total must exceed detection")
+    unmitigated = [r.seed for r in results if not r.mitigated]
+    if unmitigated:
+        report.violations.append(
+            f"runs not fully mitigated: seeds {unmitigated}"
+        )
+    return report

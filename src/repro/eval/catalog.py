@@ -1,0 +1,128 @@
+"""Synthetic hijack-incident catalogs.
+
+Argus-style measurement studies look at *streams* of hijack events over
+weeks: arrival times, durations, types.  :class:`HijackEventCatalog`
+generates such a stream (Poisson arrivals, durations from the empirical
+model, a type mix) and evaluates response-time coverage against it — the
+machinery behind experiment E5's "would the defence have finished before
+the event ended?" question, usable standalone for what-if analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ExperimentError
+from repro.eval.durations import HijackDurationModel
+from repro.sim.rng import SeededRNG
+
+#: Default incident-type mix (fractions; roughly Argus-like: most incidents
+#: are exact-origin MOAS events, a sizeable share are sub-prefix).
+DEFAULT_TYPE_MIX = {
+    "exact-origin": 0.6,
+    "sub-prefix": 0.3,
+    "path": 0.1,
+}
+
+
+class HijackEvent:
+    """One synthetic incident."""
+
+    __slots__ = ("start", "duration", "kind")
+
+    def __init__(self, start: float, duration: float, kind: str):
+        self.start = float(start)
+        self.duration = float(duration)
+        self.kind = kind
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def __repr__(self) -> str:
+        return f"HijackEvent({self.kind} @{self.start:.0f}s for {self.duration:.0f}s)"
+
+
+class HijackEventCatalog:
+    """A generated stream of hijack incidents."""
+
+    def __init__(
+        self,
+        events: List[HijackEvent],
+        horizon: float,
+    ):
+        self.events = sorted(events, key=lambda e: e.start)
+        self.horizon = float(horizon)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 0,
+        horizon_days: float = 30.0,
+        events_per_day: float = 10.0,
+        duration_model: Optional[HijackDurationModel] = None,
+        type_mix: Optional[Dict[str, float]] = None,
+    ) -> "HijackEventCatalog":
+        """Poisson arrivals over ``horizon_days`` with modelled durations."""
+        if horizon_days <= 0 or events_per_day <= 0:
+            raise ExperimentError("horizon and rate must be positive")
+        mix = dict(type_mix or DEFAULT_TYPE_MIX)
+        total = sum(mix.values())
+        if total <= 0:
+            raise ExperimentError("type mix must have positive mass")
+        kinds = sorted(mix)
+        weights = [mix[k] / total for k in kinds]
+        model = duration_model or HijackDurationModel()
+        rng = SeededRNG(seed).substream("catalog")
+        horizon = horizon_days * 86400.0
+        rate = events_per_day / 86400.0
+        events: List[HijackEvent] = []
+        clock = rng.expovariate(rate)
+        while clock < horizon:
+            kind = rng.choices(kinds, weights=weights, k=1)[0]
+            events.append(HijackEvent(clock, model.sample(rng), kind))
+            clock += rng.expovariate(rate)
+        return cls(events, horizon)
+
+    # ------------------------------------------------------------------- stats
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def count_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def fraction_shorter_than(self, duration: float) -> float:
+        """Empirical share of catalog events shorter than ``duration``."""
+        if not self.events:
+            return 0.0
+        return sum(1 for e in self.events if e.duration < duration) / len(self.events)
+
+    def coverage(self, response_time: float) -> float:
+        """Fraction of events a defence with this end-to-end response time
+        would fully mitigate while the event is still ongoing."""
+        if not self.events:
+            return 0.0
+        caught = sum(1 for e in self.events if e.duration > response_time)
+        return caught / len(self.events)
+
+    def exposure_seconds(self, response_time: float) -> float:
+        """Total hijacked-time across the catalog given a response time.
+
+        For each event, exposure is ``min(duration, response_time)`` — the
+        defence ends the incident early, or the incident ends by itself.
+        """
+        return sum(min(e.duration, response_time) for e in self.events)
+
+    def concurrent_at(self, when: float) -> int:
+        """How many incidents are ongoing at time ``when``."""
+        return sum(1 for e in self.events if e.start <= when < e.end)
+
+    def __repr__(self) -> str:
+        return (
+            f"<HijackEventCatalog {len(self.events)} events over "
+            f"{self.horizon / 86400:.0f} days>"
+        )

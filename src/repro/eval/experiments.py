@@ -1,0 +1,89 @@
+"""Suite runners: repeat seeded experiments and aggregate the paper's metrics.
+
+The paper reports means "over a few dozen experiments"; these helpers run N
+seeded repetitions of :class:`~repro.testbed.scenario.HijackExperiment` (or a
+baseline) with fresh topologies/sites per seed, then summarise each timing.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.runner import BaselineExperiment, BaselineResult
+from repro.eval.stats import Summary, summarize
+from repro.testbed.scenario import ExperimentResult, HijackExperiment, ScenarioConfig
+
+
+def _config_for_seed(template: ScenarioConfig, seed: int) -> ScenarioConfig:
+    config = copy.copy(template)
+    config.seed = seed
+    return config
+
+
+def run_artemis_suite(
+    template: ScenarioConfig,
+    seeds: Sequence[int],
+    on_result: Optional[Callable[[ExperimentResult], None]] = None,
+) -> List[ExperimentResult]:
+    """Run one ARTEMIS experiment per seed (independent worlds)."""
+    results = []
+    for seed in seeds:
+        result = HijackExperiment(_config_for_seed(template, seed)).run()
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+    return results
+
+
+def run_baseline_suite(
+    template: ScenarioConfig,
+    make_pipeline,
+    seeds: Sequence[int],
+    timeout: float = 6 * 3600.0,
+) -> List[BaselineResult]:
+    """Run one baseline experiment per seed."""
+    results = []
+    for seed in seeds:
+        runner = BaselineExperiment(
+            _config_for_seed(template, seed), make_pipeline, timeout=timeout
+        )
+        results.append(runner.run())
+    return results
+
+
+def summarize_results(
+    results: Sequence,
+    fields: Sequence[str] = (
+        "detection_delay",
+        "announce_delay",
+        "completion_delay",
+        "total_time",
+    ),
+) -> Dict[str, Summary]:
+    """Per-field :class:`~repro.eval.stats.Summary` across runs.
+
+    Works for both :class:`ExperimentResult` and :class:`BaselineResult`
+    (missing attributes are skipped as None).
+    """
+    table: Dict[str, Summary] = {}
+    for field in fields:
+        table[field] = summarize(getattr(r, field, None) for r in results)
+    return table
+
+
+def per_source_detection(
+    results: Sequence[ExperimentResult],
+) -> Dict[str, Summary]:
+    """Summaries of per-source detection delay across a suite (E2).
+
+    Only runs where a source produced evidence contribute to its summary;
+    the "combined" entry is the actual (min-over-sources) ARTEMIS delay.
+    """
+    sources: Dict[str, List[float]] = {}
+    for result in results:
+        for source, delay in result.per_source_delay.items():
+            sources.setdefault(source, []).append(delay)
+        if result.detection_delay is not None:
+            sources.setdefault("combined", []).append(result.detection_delay)
+    return {name: summarize(values) for name, values in sorted(sources.items())}

@@ -1,0 +1,44 @@
+"""BGP monitoring data sources.
+
+The paper's detection speed comes from combining three kinds of
+control-plane visibility, all modelled here:
+
+* **streaming collectors** — :class:`~repro.feeds.ris.RISLiveStream` and
+  :class:`~repro.feeds.bgpmon.BGPMonStream`: route collectors peered with
+  vantage ASes, publishing each update after a service-specific latency;
+* **looking glasses** — :class:`~repro.feeds.periscope.PeriscopeAPI`:
+  poll-based queries against operational routers (no collector in the path,
+  but bounded by the poll interval and per-LG rate limits);
+* **batch archives** — :class:`~repro.feeds.batch.BatchArchive`:
+  RouteViews-style 15-minute update files and 2-hour RIB dumps, the slow
+  path that third-party alert systems (the baselines) consume.
+
+All sources emit the same :class:`~repro.feeds.events.FeedEvent`, so the
+detection service is source-agnostic.
+"""
+
+from repro.feeds.batch import BatchArchive
+from repro.feeds.bgpmon import BGPMonStream
+from repro.feeds.collector import RouteCollector
+from repro.feeds.deploy import MonitorDeployment, deploy_monitors
+from repro.feeds.dumpfile import FeedRecorder, read_events, write_events
+from repro.feeds.events import FeedEvent
+from repro.feeds.periscope import LookingGlass, PeriscopeAPI
+from repro.feeds.ris import RISLiveStream
+from repro.feeds.stream import StreamingService
+
+__all__ = [
+    "BGPMonStream",
+    "BatchArchive",
+    "FeedEvent",
+    "FeedRecorder",
+    "LookingGlass",
+    "MonitorDeployment",
+    "PeriscopeAPI",
+    "RISLiveStream",
+    "RouteCollector",
+    "StreamingService",
+    "deploy_monitors",
+    "read_events",
+    "write_events",
+]

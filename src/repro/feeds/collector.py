@@ -1,0 +1,100 @@
+"""Route collectors.
+
+A :class:`RouteCollector` is a passive BGP endpoint (like a RIPE RIS ``rrc``
+or a RouteViews box).  Vantage ASes export their full best-route feed to it
+over monitor sessions; the collector records every received announcement or
+withdrawal as a raw observation and hands it to its consumers (streaming
+services, batch archives) *at collector-receipt time* — each consumer then
+adds its own publication latency.
+
+Collectors use pseudo-ASNs from a reserved private range so they can
+terminate sessions without colliding with topology ASes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bgp.messages import UpdateMessage
+from repro.errors import FeedError
+from repro.net.prefix import Prefix
+from repro.sim.engine import Engine
+
+#: First pseudo-ASN handed to collectors (inside the RFC 6996 private range).
+COLLECTOR_ASN_BASE = 4_200_000_000
+
+#: Raw observation callback: (collector, vantage_asn, kind, prefix, as_path, time).
+ObservationCallback = Callable[
+    ["RouteCollector", int, str, Prefix, Tuple[int, ...], float], None
+]
+
+
+class RouteCollector:
+    """A passive multi-peer BGP measurement box."""
+
+    def __init__(self, name: str, engine: Engine, asn: Optional[int] = None):
+        self.name = name
+        self.engine = engine
+        if asn is None:
+            # Derive the pseudo-ASN from the collector name so repeated
+            # experiments in one process are bit-identical (a global counter
+            # would leak state across runs).  Names are unique per network.
+            from repro.sim.rng import derive_seed
+
+            asn = COLLECTOR_ASN_BASE + derive_seed(0, "collector", name) % 90_000_000
+        self.asn = int(asn)
+        self._observers: List[ObservationCallback] = []
+        #: Current table per (vantage, prefix) — the collector's own RIB view,
+        #: used for RIB dumps by the batch archive.
+        self.table: Dict[Tuple[int, Prefix], Tuple[int, ...]] = {}
+        self.vantage_asns: List[int] = []
+        self.observations = 0
+
+    def subscribe(self, callback: ObservationCallback) -> None:
+        """Register a consumer for raw (zero-added-latency) observations."""
+        self._observers.append(callback)
+
+    def register_vantage(self, vantage_asn: int) -> None:
+        """Record that ``vantage_asn`` feeds this collector (bookkeeping)."""
+        if vantage_asn in self.vantage_asns:
+            raise FeedError(
+                f"collector {self.name} already peers with AS{vantage_asn}"
+            )
+        self.vantage_asns.append(vantage_asn)
+
+    # BGP endpoint interface ---------------------------------------------------
+
+    def deliver(self, sender_asn: int, message: UpdateMessage) -> None:
+        """Receive an UPDATE from a vantage AS (Session delivery hook)."""
+        now = self.engine.now
+        for withdrawal in message.withdrawals:
+            self.table.pop((sender_asn, withdrawal.prefix), None)
+            self._emit(sender_asn, "W", withdrawal.prefix, (), now)
+        for announcement in message.announcements:
+            self.table[(sender_asn, announcement.prefix)] = announcement.as_path
+            self._emit(sender_asn, "A", announcement.prefix, announcement.as_path, now)
+
+    def _emit(
+        self,
+        vantage_asn: int,
+        kind: str,
+        prefix: Prefix,
+        as_path: Tuple[int, ...],
+        when: float,
+    ) -> None:
+        self.observations += 1
+        for callback in self._observers:
+            callback(self, vantage_asn, kind, prefix, as_path, when)
+
+    def rib_snapshot(self) -> List[Tuple[int, Prefix, Tuple[int, ...]]]:
+        """Current table as (vantage, prefix, path) rows, deterministic order."""
+        return sorted(
+            (vantage, prefix, path)
+            for (vantage, prefix), path in self.table.items()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<RouteCollector {self.name} vantages={len(self.vantage_asns)} "
+            f"obs={self.observations}>"
+        )

@@ -1,0 +1,127 @@
+"""Feed-event dump files.
+
+Real pipelines persist BGP observations as MRT archives; this module
+provides the equivalent for the simulator's :class:`~repro.feeds.events.FeedEvent`
+stream in a simple line-oriented text format (one event per line, ``|``
+separated — the same spirit as ``bgpdump -m`` output)::
+
+    A|<source>|<collector>|<vantage_asn>|<prefix>|<as path>|<observed>|<delivered>
+    W|<source>|<collector>|<vantage_asn>|<prefix>||<observed>|<delivered>
+
+Round-trips exactly; readers tolerate comments and blank lines.  This lets
+experiments archive what their monitors saw and re-run detection offline —
+the workflow third-party services use on RouteViews data.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator, List, Union
+
+from repro.errors import FeedError
+from repro.feeds.events import ANNOUNCE, WITHDRAW, FeedEvent
+from repro.net.asn import format_as_path, parse_as_path
+from repro.net.prefix import Prefix
+
+
+def format_event(event: FeedEvent) -> str:
+    """One dump line for ``event``."""
+    return "|".join(
+        [
+            event.kind,
+            event.source,
+            event.collector,
+            str(event.vantage_asn),
+            str(event.prefix),
+            format_as_path(event.as_path),
+            repr(event.observed_at),
+            repr(event.delivered_at),
+        ]
+    )
+
+
+def parse_event(line: str) -> FeedEvent:
+    """Parse one dump line back into a :class:`FeedEvent`."""
+    fields = line.rstrip("\n").split("|")
+    if len(fields) != 8:
+        raise FeedError(f"dump line has {len(fields)} fields, expected 8: {line!r}")
+    kind, source, collector, vantage, prefix, path, observed, delivered = fields
+    if kind not in (ANNOUNCE, WITHDRAW):
+        raise FeedError(f"unknown event kind {kind!r} in dump line")
+    try:
+        return FeedEvent(
+            source=source,
+            collector=collector,
+            vantage_asn=int(vantage),
+            kind=kind,
+            prefix=Prefix.parse(prefix),
+            as_path=tuple(parse_as_path(path)),
+            observed_at=float(observed),
+            delivered_at=float(delivered),
+        )
+    except ValueError as error:
+        raise FeedError(f"malformed dump line {line!r}: {error}") from None
+
+
+def write_events(
+    target: Union[str, IO[str]], events: Iterable[FeedEvent]
+) -> int:
+    """Write events to a path or open text file; returns the count."""
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            return write_events(handle, events)
+    count = 0
+    target.write("# repro feed dump v1\n")
+    for event in events:
+        target.write(format_event(event) + "\n")
+        count += 1
+    return count
+
+
+def read_events(source: Union[str, IO[str]]) -> Iterator[FeedEvent]:
+    """Yield events from a path or open text file."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from read_events(handle)
+            return
+    for line in source:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_event(stripped)
+
+
+class FeedRecorder:
+    """Subscribe to any source and archive everything it delivers.
+
+    ``recorder = FeedRecorder(); stream.subscribe(recorder)`` then
+    ``recorder.save(path)`` at the end of the run.  The recorded list can
+    also be replayed through a detection service directly (offline
+    re-analysis), via :meth:`replay_into`.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[FeedEvent] = []
+
+    def __call__(self, event: FeedEvent) -> None:
+        self.events.append(event)
+
+    def save(self, path: str) -> int:
+        return write_events(path, self.events)
+
+    @classmethod
+    def load(cls, path: str) -> "FeedRecorder":
+        recorder = cls()
+        recorder.events = list(read_events(path))
+        return recorder
+
+    def replay_into(self, handler) -> int:
+        """Feed every recorded event to ``handler(event)`` in delivery order."""
+        for event in sorted(self.events, key=lambda e: e.delivered_at):
+            handler(event)
+        return len(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<FeedRecorder {len(self.events)} events>"

@@ -1,0 +1,88 @@
+"""The unified feed event format.
+
+Every monitoring source — stream, looking glass, or batch archive — delivers
+:class:`FeedEvent` objects.  An event says: *vantage AS ``vantage_asn`` was
+observed (by ``source``) to select ``as_path`` for ``prefix``*.
+
+Two timestamps matter for the paper's delay analysis:
+
+* ``observed_at`` — when the routing state existed at the vantage point;
+* ``delivered_at`` — when the consumer (ARTEMIS, a baseline) received the
+  event.  ``delivered_at - observed_at`` is the source's latency, and the
+  detection delay measured in experiments is ``delivered_at - hijack_time``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import FeedError
+from repro.net.prefix import Prefix
+
+ANNOUNCE = "A"
+WITHDRAW = "W"
+
+
+class FeedEvent:
+    """One observed routing change (or state, for polls/RIB dumps)."""
+
+    __slots__ = (
+        "source",
+        "collector",
+        "vantage_asn",
+        "kind",
+        "prefix",
+        "as_path",
+        "observed_at",
+        "delivered_at",
+    )
+
+    def __init__(
+        self,
+        source: str,
+        collector: str,
+        vantage_asn: int,
+        kind: str,
+        prefix: Prefix,
+        as_path: Sequence[int],
+        observed_at: float,
+        delivered_at: float,
+    ):
+        if kind not in (ANNOUNCE, WITHDRAW):
+            raise FeedError(f"invalid feed event kind {kind!r}")
+        if kind == ANNOUNCE and not as_path:
+            raise FeedError(f"announce event for {prefix} has an empty AS path")
+        if delivered_at < observed_at:
+            raise FeedError(
+                f"event delivered at {delivered_at} before observed at {observed_at}"
+            )
+        self.source = source
+        self.collector = collector
+        self.vantage_asn = int(vantage_asn)
+        self.kind = kind
+        self.prefix = prefix
+        self.as_path: Tuple[int, ...] = tuple(int(a) for a in as_path)
+        self.observed_at = float(observed_at)
+        self.delivered_at = float(delivered_at)
+
+    @property
+    def origin_as(self) -> Optional[int]:
+        """Origin AS of the observed path (None for withdrawals)."""
+        return self.as_path[-1] if self.as_path else None
+
+    @property
+    def latency(self) -> float:
+        """Source-internal delay between observation and delivery."""
+        return self.delivered_at - self.observed_at
+
+    @property
+    def is_announcement(self) -> bool:
+        return self.kind == ANNOUNCE
+
+    def __repr__(self) -> str:
+        path = " ".join(str(a) for a in self.as_path) if self.as_path else "-"
+        return (
+            f"FeedEvent({self.source}/{self.collector} vp=AS{self.vantage_asn} "
+            f"{self.kind} {self.prefix} [{path}] obs={self.observed_at:.2f} "
+            f"dlv={self.delivered_at:.2f})"
+        )

@@ -1,0 +1,244 @@
+"""Periscope-style looking-glass querying.
+
+Periscope (Giotsas et al., PAM 2016) unifies queries to public looking-glass
+servers.  An LG answers "show ip bgp <prefix>" straight from an operational
+router — no collector in the path, so the *observation* is as fresh as the
+poll.  The price is poll-driven latency: expected detection delay from one
+LG is roughly ``poll_interval / 2`` plus the query round trip, and public
+LGs enforce per-client rate limits, which is exactly the
+overhead-vs-speed trade-off the paper says ARTEMIS can be parametrised over
+(experiment E3).
+
+:class:`LookingGlass` wraps one router; :class:`PeriscopeAPI` schedules the
+polls, deduplicates unchanged answers, and emits
+:class:`~repro.feeds.events.FeedEvent` objects like any other source.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bgp.speaker import BGPSpeaker
+from repro.errors import FeedError
+from repro.feeds.events import FeedEvent
+from repro.feeds.stream import FeedCallback, _Subscription
+from repro.net.prefix import Prefix
+from repro.sim.engine import Engine
+from repro.sim.latency import Delay, Shifted, Exponential, make_delay
+from repro.sim.rng import SeededRNG
+
+#: An LG answer: list of (prefix, as_path) rows overlapping the query.
+LGAnswer = List[Tuple[Prefix, Tuple[int, ...]]]
+
+
+def default_query_delay() -> Delay:
+    """LG query round trip: ~0.3 s floor + server-load tail."""
+    return Shifted(0.3, Exponential(0.7))
+
+
+class LookingGlass:
+    """A public looking glass in front of one operational router."""
+
+    def __init__(
+        self,
+        name: str,
+        speaker: BGPSpeaker,
+        engine: Engine,
+        query_delay: Optional[Delay] = None,
+        min_query_interval: float = 10.0,
+        rng: Optional[SeededRNG] = None,
+    ):
+        self.name = name
+        self.speaker = speaker
+        self.engine = engine
+        self.query_delay = query_delay or default_query_delay()
+        #: Rate limit enforced by the LG operator (seconds between queries).
+        self.min_query_interval = float(min_query_interval)
+        self.rng = rng or SeededRNG(speaker.asn)
+        self._next_allowed = 0.0
+        self.queries_served = 0
+
+    @property
+    def asn(self) -> int:
+        """The AS whose router this LG exposes."""
+        return self.speaker.asn
+
+    def query(
+        self,
+        target: Prefix,
+        callback: Callable[[float, LGAnswer], None],
+    ) -> None:
+        """Ask the router for its view of ``target``.
+
+        The answer contains every Loc-RIB entry overlapping the queried
+        prefix (exact, more-specific, or covering — what a real
+        ``show ip bgp`` longest-match listing exposes).  ``callback`` gets
+        ``(observed_at, rows)`` after the full round trip; queries beyond
+        the rate limit are silently queued.
+        """
+        forward = self.query_delay.sample(self.rng) / 2.0
+        backward = self.query_delay.sample(self.rng) / 2.0
+        start = max(self.engine.now, self._next_allowed)
+        self._next_allowed = start + self.min_query_interval
+
+        def execute() -> None:
+            self.queries_served += 1
+            observed_at = self.engine.now
+            rows: LGAnswer = []
+            for prefix, route in self.speaker.loc_rib.covered(target):
+                path = route.as_path if route.as_path else (self.speaker.asn,)
+                rows.append((prefix, tuple(path)))
+            covering = self.speaker.loc_rib.resolve(target)
+            if covering is not None and covering.prefix.length < target.length:
+                path = covering.as_path if covering.as_path else (self.speaker.asn,)
+                rows.append((covering.prefix, tuple(path)))
+            self.engine.schedule(backward, callback, observed_at, rows)
+
+        self.engine.schedule_at(start + forward, execute)
+
+    def __repr__(self) -> str:
+        return f"<LookingGlass {self.name} AS{self.asn}>"
+
+
+class PeriscopeAPI:
+    """Unified poll scheduler over a set of looking glasses."""
+
+    source_name = "periscope"
+
+    def __init__(
+        self,
+        engine: Engine,
+        looking_glasses: Sequence[LookingGlass],
+        poll_interval: float = 60.0,
+        rng: Optional[SeededRNG] = None,
+        name: str = "periscope",
+    ):
+        if poll_interval <= 0:
+            raise FeedError(f"poll interval must be positive, got {poll_interval}")
+        self.engine = engine
+        self.looking_glasses = list(looking_glasses)
+        self.poll_interval = float(poll_interval)
+        self.rng = rng or SeededRNG(0)
+        self.name = name
+        self._subscriptions: List[_Subscription] = []
+        self._watched: List[Prefix] = []
+        self._poll_handles = []
+        #: Last answer per (lg_name, prefix): dedup state.
+        self._last_seen: Dict[Tuple[str, Prefix], Tuple[int, ...]] = {}
+        self.queries_sent = 0
+        self.events_delivered = 0
+
+    def subscribe(
+        self,
+        callback: FeedCallback,
+        prefixes: Optional[Sequence[Prefix]] = None,
+    ) -> _Subscription:
+        """Receive change events, optionally filtered by prefix overlap."""
+        subscription = _Subscription(callback, prefixes)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: _Subscription) -> None:
+        subscription.active = False
+        if subscription in self._subscriptions:
+            self._subscriptions.remove(subscription)
+
+    def watch(self, prefixes: Sequence[Prefix]) -> None:
+        """Start polling every LG for each of ``prefixes``.
+
+        Poll phases are staggered per LG so queries spread over the
+        interval instead of arriving in a thundering herd.
+        """
+        new = [p for p in prefixes if p not in self._watched]
+        self._watched.extend(new)
+        if self._poll_handles or not self._watched:
+            return
+        for lg in self.looking_glasses:
+            phase = self.rng.uniform(0.0, self.poll_interval)
+            handle = self.engine.schedule_periodic(
+                self.poll_interval,
+                self._make_poller(lg),
+                first_delay=phase,
+            )
+            self._poll_handles.append(handle)
+
+    def stop(self) -> None:
+        """Cancel all polling."""
+        for handle in self._poll_handles:
+            handle.cancel()
+        self._poll_handles.clear()
+
+    @property
+    def polling(self) -> bool:
+        return bool(self._poll_handles)
+
+    def queries_per_minute(self) -> float:
+        """Steady-state query load this configuration generates."""
+        if not self._poll_handles:
+            return 0.0
+        return len(self.looking_glasses) * len(self._watched) * (
+            60.0 / self.poll_interval
+        )
+
+    # ----------------------------------------------------------------- polling
+
+    def _make_poller(self, lg: LookingGlass) -> Callable[[], None]:
+        def poll() -> None:
+            for prefix in list(self._watched):
+                self.queries_sent += 1
+                lg.query(prefix, self._make_handler(lg, prefix))
+
+        return poll
+
+    def _make_handler(
+        self, lg: LookingGlass, watched: Prefix
+    ) -> Callable[[float, LGAnswer], None]:
+        def handle(observed_at: float, rows: LGAnswer) -> None:
+            seen_prefixes = set()
+            for prefix, path in rows:
+                seen_prefixes.add(prefix)
+                key = (lg.name, prefix)
+                if self._last_seen.get(key) == path:
+                    continue
+                self._last_seen[key] = path
+                self._deliver(lg, "A", prefix, path, observed_at)
+            # Implicit withdrawals: previously seen rows under the watched
+            # prefix that no longer appear.
+            for key in [
+                k
+                for k in self._last_seen
+                if k[0] == lg.name and watched.overlaps(k[1]) and k[1] not in seen_prefixes
+            ]:
+                del self._last_seen[key]
+                self._deliver(lg, "W", key[1], (), observed_at)
+
+        return handle
+
+    def _deliver(
+        self,
+        lg: LookingGlass,
+        kind: str,
+        prefix: Prefix,
+        path: Tuple[int, ...],
+        observed_at: float,
+    ) -> None:
+        event = FeedEvent(
+            source=self.name,
+            collector=lg.name,
+            vantage_asn=lg.asn,
+            kind=kind,
+            prefix=prefix,
+            as_path=path,
+            observed_at=observed_at,
+            delivered_at=self.engine.now,
+        )
+        for subscription in list(self._subscriptions):
+            if subscription.active and subscription.matches(prefix):
+                self.events_delivered += 1
+                subscription.callback(event)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PeriscopeAPI {len(self.looking_glasses)} LGs "
+            f"interval={self.poll_interval}s watched={len(self._watched)}>"
+        )

@@ -1,0 +1,133 @@
+"""Streaming feed services.
+
+A :class:`StreamingService` sits between route collectors and consumers: for
+every raw collector observation it samples a publication latency and
+schedules delivery of a :class:`~repro.feeds.events.FeedEvent` to each
+subscriber.  Subscribers can filter server-side by prefix (the paper:
+sources "return in near real-time BGP routes/updates for a given list of
+prefixes"), which is also what keeps the monitoring overhead accounting
+honest — filtered-out events are counted but not delivered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import FeedError
+from repro.feeds.collector import RouteCollector
+from repro.feeds.events import FeedEvent
+from repro.net.prefix import Prefix
+from repro.sim.engine import Engine
+from repro.sim.latency import Delay, make_delay
+from repro.sim.rng import SeededRNG
+
+FeedCallback = Callable[[FeedEvent], None]
+
+
+class _Subscription:
+    __slots__ = ("callback", "prefixes", "active")
+
+    def __init__(self, callback: FeedCallback, prefixes: Optional[Sequence[Prefix]]):
+        self.callback = callback
+        self.prefixes = tuple(prefixes) if prefixes is not None else None
+        self.active = True
+
+    def matches(self, prefix: Prefix) -> bool:
+        if self.prefixes is None:
+            return True
+        return any(p.overlaps(prefix) for p in self.prefixes)
+
+
+class StreamingService:
+    """Base class for RIS-live / BGPmon style streams."""
+
+    #: Subclasses override: service name stamped on events.
+    source_name = "stream"
+
+    def __init__(
+        self,
+        engine: Engine,
+        latency: Delay,
+        rng: Optional[SeededRNG] = None,
+        name: Optional[str] = None,
+    ):
+        self.engine = engine
+        self.latency = make_delay(latency)
+        self.rng = rng or SeededRNG(0)
+        self.name = name or self.source_name
+        self.collectors: List[RouteCollector] = []
+        self._subscriptions: List[_Subscription] = []
+        self.events_published = 0
+        self.events_delivered = 0
+
+    def attach_collector(self, collector: RouteCollector) -> None:
+        """Feed this stream from ``collector``'s observations."""
+        if collector in self.collectors:
+            raise FeedError(f"{self.name} already attached to {collector.name}")
+        self.collectors.append(collector)
+        collector.subscribe(self._on_observation)
+
+    def subscribe(
+        self,
+        callback: FeedCallback,
+        prefixes: Optional[Sequence[Prefix]] = None,
+    ) -> _Subscription:
+        """Receive events, optionally filtered to overlapping ``prefixes``.
+
+        Returns the subscription; set ``subscription.active = False`` (or
+        call :meth:`unsubscribe`) to stop deliveries.
+        """
+        subscription = _Subscription(callback, prefixes)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: _Subscription) -> None:
+        subscription.active = False
+        if subscription in self._subscriptions:
+            self._subscriptions.remove(subscription)
+
+    # ------------------------------------------------------------------ engine
+
+    def _on_observation(
+        self,
+        collector: RouteCollector,
+        vantage_asn: int,
+        kind: str,
+        prefix: Prefix,
+        as_path: Tuple[int, ...],
+        observed_at: float,
+    ) -> None:
+        self.events_published += 1
+        # Server-side filter: skip the publication machinery entirely when
+        # nobody asked for this prefix (background churn would otherwise
+        # flood the event queue with undeliverable publications).
+        if not any(
+            s.active and s.matches(prefix) for s in self._subscriptions
+        ):
+            return
+        delay = self.latency.sample(self.rng)
+        delivered_at = observed_at + delay
+        event = FeedEvent(
+            source=self.name,
+            collector=collector.name,
+            vantage_asn=vantage_asn,
+            kind=kind,
+            prefix=prefix,
+            as_path=as_path,
+            observed_at=observed_at,
+            delivered_at=delivered_at,
+        )
+
+        def publish() -> None:
+            for subscription in list(self._subscriptions):
+                if subscription.active and subscription.matches(prefix):
+                    self.events_delivered += 1
+                    subscription.callback(event)
+
+        self.engine.schedule_at(delivered_at, publish)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name} collectors={len(self.collectors)} "
+            f"published={self.events_published}>"
+        )

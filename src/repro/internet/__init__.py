@@ -1,0 +1,13 @@
+"""The runnable Internet: topology + speakers + engine, wired together."""
+
+from repro.internet.churn import BackgroundChurn, ChurnConfig
+from repro.internet.network import Network, NetworkConfig
+from repro.internet.tracker import OriginTracker
+
+__all__ = [
+    "BackgroundChurn",
+    "ChurnConfig",
+    "Network",
+    "NetworkConfig",
+    "OriginTracker",
+]

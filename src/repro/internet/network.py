@@ -1,0 +1,362 @@
+"""Instantiate and drive a simulated Internet.
+
+:class:`Network` turns an :class:`~repro.topology.graph.ASGraph` into live
+BGP state: one :class:`~repro.bgp.speaker.BGPSpeaker` per AS, one
+:class:`~repro.bgp.session.Session` per link (delay derived from the
+endpoints' geography), a shared engine, RNG tree and activity tracker.
+
+It exposes the operations experiments need:
+
+* originate / withdraw prefixes at any AS;
+* run until BGP converges (the activity tracker reads zero);
+* resolve the *data-plane* origin every AS currently uses for a target —
+  the ground truth that detection output and mitigation success are judged
+  against;
+* attach external endpoints (route collectors, looking glasses, testbed
+  virtual ASes) at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.bgp.policy import FilterChain, MaxLengthFilter, Policy, Relationship
+from repro.bgp.rpki import ROVFilter, RPKIRegistry
+from repro.bgp.session import ActivityTracker, Session
+from repro.bgp.speaker import BGPSpeaker
+from repro.errors import SimulationError, TopologyError
+from repro.net.prefix import Address, Prefix
+from repro.sim.engine import Engine
+from repro.sim.latency import Delay, DelaySpec, LogNormal, Uniform, make_delay
+from repro.sim.rng import SeededRNG
+from repro.topology.geo import Region, session_delay_between
+from repro.topology.graph import ASGraph
+
+
+class NetworkConfig:
+    """Timing and policy knobs for a simulated Internet.
+
+    Defaults are calibrated so a full hijack-and-mitigate cycle reproduces
+    the paper's shape: detection well under a minute (feed-latency bound)
+    and mitigation completion a few minutes (MRAI-churn bound).  The A2
+    ablation bench sweeps these.
+    """
+
+    def __init__(
+        self,
+        processing_delay: DelaySpec = None,
+        mrai: DelaySpec = None,
+        max_prefix_length_v4: int = 24,
+        max_prefix_length_v6: int = 48,
+        session_delay_override: Optional[DelaySpec] = None,
+        rov_adoption: float = 0.0,
+    ):
+        # Per-UPDATE processing at each router: heavy-ish tail (CPU load,
+        # batched table walks).  Mean ≈ 2 s.
+        if processing_delay is None:
+            processing_delay = LogNormal(mean=2.5, sigma=1.0)
+        # eBGP MRAI with jitter around the classic 30 s default; this is the
+        # main source of the minutes-scale convergence tail (routers that
+        # just forwarded hijack churn hold back the mitigation wave).
+        if mrai is None:
+            mrai = Uniform(30.0, 90.0)
+        self.processing_delay = make_delay(processing_delay)
+        self.mrai = make_delay(mrai)
+        self.max_prefix_length_v4 = max_prefix_length_v4
+        self.max_prefix_length_v6 = max_prefix_length_v6
+        self.session_delay_override = (
+            make_delay(session_delay_override)
+            if session_delay_override is not None
+            else None
+        )
+        #: Fraction of ASes enforcing RPKI route-origin validation.
+        if not 0.0 <= rov_adoption <= 1.0:
+            raise SimulationError("rov_adoption must be a probability")
+        self.rov_adoption = float(rov_adoption)
+
+    def make_policy(self, rov_filter: Optional[ROVFilter] = None) -> Policy:
+        """Policy for one AS (every AS filters longer-than-/24 by default;
+        ROV enforcement added for adopting ASes)."""
+        length_filter = MaxLengthFilter(
+            self.max_prefix_length_v4, self.max_prefix_length_v6
+        )
+        if rov_filter is None:
+            return Policy(import_filter=length_filter)
+        return Policy(import_filter=FilterChain([length_filter, rov_filter]))
+
+
+class Network:
+    """A live simulated Internet."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        config: Optional[NetworkConfig] = None,
+        seed: int = 0,
+        engine: Optional[Engine] = None,
+    ):
+        self.graph = graph
+        self.config = config or NetworkConfig()
+        self.engine = engine or Engine()
+        self.tracker = ActivityTracker()
+        self.rng = SeededRNG(seed).substream("network")
+        self.speakers: Dict[int, BGPSpeaker] = {}
+        self.sessions: List[Session] = []
+        #: Shared RPKI registry; publish ROAs at any time.  Only ASes in
+        #: ``rov_adopters`` enforce them.
+        self.rpki = RPKIRegistry()
+        self.rov_adopters: set = set()
+        self._build()
+
+    # ------------------------------------------------------------------ build
+
+    def _make_speaker(self, asn: int, policy: Optional[Policy] = None) -> BGPSpeaker:
+        speaker = BGPSpeaker(
+            asn,
+            self.engine,
+            policy=policy or self.config.make_policy(),
+            rng=self.rng.substream("speaker", asn),
+            tracker=self.tracker,
+            processing_delay=self.config.processing_delay,
+            mrai=self.config.mrai,
+        )
+        self.speakers[asn] = speaker
+        return speaker
+
+    def _session_delay(self, region_a: Optional[Region], region_b: Optional[Region]) -> Delay:
+        if self.config.session_delay_override is not None:
+            return self.config.session_delay_override
+        return session_delay_between(region_a, region_b)
+
+    def _build(self) -> None:
+        rov_rng = self.rng.substream("rov")
+        for node in self.graph.nodes():
+            policy = None
+            if self.config.rov_adoption > 0.0 and rov_rng.random() < self.config.rov_adoption:
+                self.rov_adopters.add(node.asn)
+                policy = self.config.make_policy(ROVFilter(self.rpki))
+            self._make_speaker(node.asn, policy=policy)
+        for a, b, a_view in self.graph.links():
+            speaker_a = self.speakers[a]
+            speaker_b = self.speakers[b]
+            session = Session(
+                self.engine,
+                speaker_a,
+                speaker_b,
+                delay=self._session_delay(
+                    self.graph.node(a).region, self.graph.node(b).region
+                ),
+                rng=self.rng.substream("session", a, b),
+                tracker=self.tracker,
+            )
+            self.sessions.append(session)
+            speaker_a.add_peer(session, a_view)
+            speaker_b.add_peer(session, a_view.inverse())
+
+    # ------------------------------------------------------------------ access
+
+    def speaker(self, asn: int) -> BGPSpeaker:
+        try:
+            return self.speakers[asn]
+        except KeyError:
+            raise TopologyError(f"AS{asn} has no speaker in this network") from None
+
+    def asns(self) -> List[int]:
+        return sorted(self.speakers)
+
+    # -------------------------------------------------------------- attachment
+
+    def attach_stub(
+        self,
+        asn: int,
+        provider_asns: List[int],
+        region: Optional[Region] = None,
+        policy: Optional[Policy] = None,
+    ) -> BGPSpeaker:
+        """Attach a new edge AS at runtime (used by the PEERING-style testbed).
+
+        The new AS buys transit from each listed provider.  The topology
+        graph is extended too, so later queries stay consistent.
+        """
+        if asn in self.speakers:
+            raise TopologyError(f"AS{asn} already exists in this network")
+        if not provider_asns:
+            raise TopologyError(f"stub AS{asn} needs at least one provider")
+        self.graph.add_as(asn, tier=3, region=region, tags={"stub", "attached"})
+        speaker = self._make_speaker(asn, policy=policy)
+        for provider in provider_asns:
+            provider_speaker = self.speaker(provider)
+            self.graph.add_customer_provider(asn, provider)
+            session = Session(
+                self.engine,
+                speaker,
+                provider_speaker,
+                delay=self._session_delay(region, self.graph.node(provider).region),
+                rng=self.rng.substream("session", asn, provider),
+                tracker=self.tracker,
+            )
+            self.sessions.append(session)
+            speaker.add_peer(session, Relationship.PROVIDER)
+            provider_speaker.add_peer(session, Relationship.CUSTOMER)
+        return speaker
+
+    def add_monitor_session(
+        self,
+        host_asn: int,
+        endpoint: "SessionEndpoint",
+        delay: Optional[Delay] = None,
+    ) -> Session:
+        """Peer a passive monitor (e.g. a route collector) with ``host_asn``.
+
+        The host exports its full best-route feed to the endpoint; the
+        endpoint never sends routes back.
+        """
+        host = self.speaker(host_asn)
+        session = Session(
+            self.engine,
+            host,
+            endpoint,
+            delay=delay or self._session_delay(self.graph.node(host_asn).region, None),
+            rng=self.rng.substream("monitor-session", host_asn, endpoint.asn),
+            tracker=self.tracker,
+        )
+        self.sessions.append(session)
+        host.add_peer(session, Relationship.MONITOR)
+        return session
+
+    # ----------------------------------------------------------------- control
+
+    def fail_link(self, a: int, b: int) -> None:
+        """Take down the session between ``a`` and ``b`` (BGP session reset).
+
+        Both speakers immediately drop everything learned over the session
+        and re-run their decision processes; withdrawals then propagate as
+        usual.  In-flight messages on the session are discarded on arrival.
+        """
+        session = self._find_session(a, b)
+        session.tear_down()
+        self.speaker(a).remove_peer(b)
+        self.speaker(b).remove_peer(a)
+
+    def restore_link(self, a: int, b: int) -> None:
+        """Bring a previously failed session back up.
+
+        Mirrors a real session re-establishment: both sides re-add the peer
+        and exchange their full tables (initial-advertisement semantics of
+        :meth:`BGPSpeaker.add_peer`).
+        """
+        session = self._find_session(a, b)
+        if session.up:
+            raise TopologyError(f"session AS{a}<->AS{b} is already up")
+        session.restore()
+        relationship = self._relationship_between(a, b)
+        self.speaker(a).add_peer(session, relationship)
+        self.speaker(b).add_peer(session, relationship.inverse())
+
+    def _relationship_between(self, a: int, b: int) -> Relationship:
+        """a's view of b, from the topology graph."""
+        for neighbor, relationship in self.graph.neighbors(a):
+            if neighbor == b:
+                return relationship
+        raise TopologyError(f"AS{a} and AS{b} are not adjacent in the graph")
+
+    def _find_session(self, a: int, b: int) -> Session:
+        for session in self.sessions:
+            endpoints = {session.a.asn, session.b.asn}
+            if endpoints == {a, b}:
+                return session
+        raise TopologyError(f"no session between AS{a} and AS{b}")
+
+    def announce(self, asn: int, prefix: Union[Prefix, str]) -> None:
+        """AS ``asn`` starts originating ``prefix``."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self.speaker(asn).originate(prefix)
+
+    def withdraw(self, asn: int, prefix: Union[Prefix, str]) -> None:
+        """AS ``asn`` stops originating ``prefix``."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self.speaker(asn).withdraw_origin(prefix)
+
+    def run_until_converged(
+        self,
+        max_time: float = 3600.0,
+        max_events: int = 5_000_000,
+    ) -> float:
+        """Step the engine until no BGP work is in flight.
+
+        Periodic measurement tasks (LG polls, batch dumps) keep firing but do
+        not count as BGP activity, so they never prevent convergence.
+        Raises :class:`SimulationError` if BGP has not quiesced by
+        ``max_time`` (simulated) or ``max_events``.
+        """
+        deadline = self.engine.now + max_time
+        fired = 0
+        while self.tracker.busy:
+            next_time = self.engine.peek_time()
+            if next_time is None:
+                raise SimulationError(
+                    "activity tracker is busy but the event queue is empty"
+                )
+            if next_time > deadline:
+                raise SimulationError(
+                    f"BGP did not converge within {max_time}s "
+                    f"({self.tracker.in_flight} units in flight)"
+                )
+            self.engine.step()
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"convergence run exceeded {max_events} events; "
+                    "the configuration likely oscillates"
+                )
+        return self.engine.now
+
+    def run_for(self, duration: float) -> float:
+        """Advance simulated time by ``duration`` seconds."""
+        return self.engine.run_for(duration)
+
+    # ------------------------------------------------------------- observation
+
+    def resolve_origin(self, asn: int, target: Union[Address, Prefix, str]) -> Optional[int]:
+        """The origin AS that ``asn`` currently routes ``target`` towards."""
+        return self.speaker(asn).resolve_origin(target)
+
+    def origin_map(self, target: Union[Address, Prefix, str]) -> Dict[int, Optional[int]]:
+        """Data-plane ground truth: every AS's selected origin for ``target``."""
+        return {asn: self.speakers[asn].resolve_origin(target) for asn in self.asns()}
+
+    def fraction_routing_to(
+        self, target: Union[Address, Prefix, str], origin_asn: int
+    ) -> float:
+        """Fraction of ASes whose selected origin for ``target`` is ``origin_asn``."""
+        origins = self.origin_map(target)
+        if not origins:
+            return 0.0
+        return sum(1 for o in origins.values() if o == origin_asn) / len(origins)
+
+    def ases_routing_to(
+        self, target: Union[Address, Prefix, str], origin_asn: int
+    ) -> List[int]:
+        """ASNs whose selected origin for ``target`` is ``origin_asn``."""
+        return [
+            asn
+            for asn, origin in sorted(self.origin_map(target).items())
+            if origin == origin_asn
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network {len(self.speakers)} ASes, {len(self.sessions)} sessions, "
+            f"t={self.engine.now:.1f}s>"
+        )
+
+
+class SessionEndpoint:
+    """Typing helper: minimal interface for :meth:`Network.add_monitor_session`."""
+
+    asn: int
+
+    def deliver(self, sender_asn: int, message) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,225 @@
+"""Ground-truth origin tracking.
+
+Experiments need to know, at every instant, which origin AS *every* AS in
+the simulated Internet routes a victim's address space towards — that is the
+data-plane truth that detection output is compared against and that defines
+"mitigation completed" (paper Phase-3: "until all the vantage points in our
+data have switched to the legitimate ASN-1").
+
+:class:`OriginTracker` subscribes to every speaker's Loc-RIB change hook and
+incrementally maintains the origin each AS selects for a set of probe
+addresses (one per potential de-aggregated sub-prefix, so a /23 watch tracks
+both /24 halves).  It snapshots the initial state and records every flip,
+so any past instant can be reconstructed exactly — event-driven timing, no
+polling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.bgp.route import Route
+from repro.bgp.speaker import BGPSpeaker
+from repro.internet.network import Network
+from repro.net.prefix import Address, Prefix
+
+#: Tracking key: (asn, probe index).
+Key = Tuple[int, int]
+
+
+class OriginTracker:
+    """Event-driven data-plane origin map for one watched prefix."""
+
+    def __init__(
+        self,
+        network: Network,
+        watch: Union[Prefix, str],
+        probe_depth: int = 1,
+        exclude_asns: Sequence[int] = (),
+        value_fn=None,
+    ):
+        """``value_fn(speaker, probe_address)`` extracts the tracked value
+        per probe; the default is the selected origin AS.  Any hashable
+        value works — e.g. :func:`path_presence_tracker` tracks whether a
+        given AS appears on the selected path (type-1 hijack ground truth).
+        """
+        if isinstance(watch, str):
+            watch = Prefix.parse(watch)
+        self.network = network
+        self.watch = watch
+        self._value_fn = value_fn or (
+            lambda speaker, probe: speaker.resolve_origin(probe)
+        )
+        #: One probe address per sub-prefix ``probe_depth`` levels down, so
+        #: per-half divergence after de-aggregation is visible.
+        depth = min(watch.length + max(0, probe_depth), watch.bits)
+        self.probes: List[Address] = [child.network for child in watch.subnets(depth)]
+        self.exclude: Set[int] = set(exclude_asns)
+        self._current: Dict[Key, Optional[int]] = {}
+        #: State snapshot when each key began being tracked.
+        self._initial: Dict[Key, Optional[int]] = {}
+        #: Time each key began being tracked.
+        self._since: Dict[Key, float] = {}
+        #: Flip log: (time, asn, probe_index, new_origin), append-only.
+        self.flips: List[Tuple[float, int, int, Optional[int]]] = []
+        for speaker in self.network.speakers.values():
+            self.track_speaker(speaker)
+
+    def track_speaker(self, speaker: BGPSpeaker) -> None:
+        """Start tracking an AS (also used for ASes attached later)."""
+        if speaker.asn in self.exclude:
+            return
+        now = self.network.engine.now
+        for index, probe in enumerate(self.probes):
+            key = (speaker.asn, index)
+            value = self._value_fn(speaker, probe)
+            self._current[key] = value
+            self._initial[key] = value
+            self._since[key] = now
+        speaker.on_best_change(self._on_change)
+
+    def _on_change(
+        self,
+        speaker: BGPSpeaker,
+        prefix: Prefix,
+        new_route: Optional[Route],
+        old_route: Optional[Route],
+    ) -> None:
+        if speaker.asn in self.exclude or not prefix.overlaps(self.watch):
+            return
+        now = self.network.engine.now
+        for index, probe in enumerate(self.probes):
+            key = (speaker.asn, index)
+            if key not in self._current:
+                continue
+            value = self._value_fn(speaker, probe)
+            if self._current[key] != value:
+                self._current[key] = value
+                self.flips.append((now, speaker.asn, index, value))
+
+    # ------------------------------------------------------------------- views
+
+    def tracked_asns(self) -> List[int]:
+        return sorted({asn for asn, _index in self._current})
+
+    def origin_map(self) -> Dict[int, Tuple[Optional[int], ...]]:
+        """Per AS: tuple of current origins, one per probe."""
+        return self._as_map(self._current)
+
+    def _as_map(
+        self, state: Dict[Key, Optional[int]]
+    ) -> Dict[int, Tuple[Optional[int], ...]]:
+        result: Dict[int, List[Optional[int]]] = {}
+        for (asn, index), origin in state.items():
+            result.setdefault(asn, [None] * len(self.probes))[index] = origin
+        return {asn: tuple(origins) for asn, origins in sorted(result.items())}
+
+    @staticmethod
+    def _fraction(
+        per_as: Dict[int, Tuple[Optional[int], ...]],
+        accepted: Set[int],
+        mode: str = "all",
+    ) -> float:
+        """Fraction of ASes matching ``accepted``.
+
+        ``mode="all"`` — every probe must resolve into the set (full
+        recovery semantics); ``mode="any"`` — at least one probe does
+        (partial capture semantics, e.g. a sub-prefix hijack that only
+        steals one /24 of the owned space).
+        """
+        if not per_as:
+            return 0.0
+        if mode == "all":
+            good = sum(
+                1
+                for probe_origins in per_as.values()
+                if all(origin in accepted for origin in probe_origins)
+            )
+        elif mode == "any":
+            good = sum(
+                1
+                for probe_origins in per_as.values()
+                if any(origin in accepted for origin in probe_origins)
+            )
+        else:
+            raise ValueError(f"unknown fraction mode {mode!r}")
+        return good / len(per_as)
+
+    def fraction_routing_to(
+        self, origins: Union[int, Set[int]], mode: str = "all"
+    ) -> float:
+        """Fraction of tracked ASes resolving into ``origins`` (see ``mode``)."""
+        accepted = {origins} if isinstance(origins, int) else set(origins)
+        return self._fraction(self.origin_map(), accepted, mode)
+
+    def all_route_to(self, origins: Union[int, Set[int]]) -> bool:
+        return self.fraction_routing_to(origins) == 1.0
+
+    def ases_routing_to(self, origin: int) -> List[int]:
+        """ASes with at least one probe resolving to ``origin``."""
+        return [
+            asn
+            for asn, probe_origins in self.origin_map().items()
+            if origin in probe_origins
+        ]
+
+    # ------------------------------------------------------------------ replay
+
+    def _state_at(self, when: float) -> Dict[Key, Optional[int]]:
+        """Reconstruct tracked state at time ``when`` (≥ construction time)."""
+        state = {
+            key: origin
+            for key, origin in self._initial.items()
+            if self._since[key] <= when
+        }
+        for flip_time, asn, index, origin in self.flips:
+            if flip_time > when:
+                break
+            if (asn, index) in state:
+                state[(asn, index)] = origin
+        return state
+
+    def fraction_series(
+        self,
+        origins: Union[int, Set[int]],
+        start_time: float = 0.0,
+        mode: str = "all",
+    ) -> List[Tuple[float, float]]:
+        """(time, fraction in ``origins``) at ``start_time`` and after every
+        subsequent flip — the exact ground-truth recovery curve."""
+        accepted = {origins} if isinstance(origins, int) else set(origins)
+        state = self._state_at(start_time)
+        series = [(start_time, self._fraction(self._as_map(state), accepted, mode))]
+        for flip_time, asn, index, origin in self.flips:
+            if flip_time <= start_time:
+                continue
+            key = (asn, index)
+            # Keys first tracked mid-replay join with their initial value.
+            if key not in state and self._since.get(key, float("inf")) <= flip_time:
+                state[key] = self._initial[key]
+            state[key] = origin
+            series.append(
+                (flip_time, self._fraction(self._as_map(state), accepted, mode))
+            )
+        return series
+
+    def first_time_all_route_to(
+        self,
+        origins: Union[int, Set[int]],
+        since: float,
+    ) -> Optional[float]:
+        """Earliest time ≥ ``since`` when every AS routed only into ``origins``.
+
+        ``None`` if that has not happened yet.  This is the paper's
+        "mitigation completed" instant.
+        """
+        for when, fraction in self.fraction_series(origins, start_time=since):
+            if fraction == 1.0:
+                return max(when, since)
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<OriginTracker {self.watch} probes={len(self.probes)} "
+            f"ases={len(self.tracked_asns())} flips={len(self.flips)}>"
+        )

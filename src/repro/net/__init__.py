@@ -1,0 +1,30 @@
+"""Core networking primitives: IP addresses, prefixes, and a radix trie.
+
+These types are the foundation of the whole library: BGP routes are keyed by
+:class:`~repro.net.prefix.Prefix`, data-plane resolution is a longest-prefix
+match over a :class:`~repro.net.trie.PrefixTrie`, and ARTEMIS' mitigation is
+prefix de-aggregation arithmetic (:meth:`Prefix.deaggregate`).
+"""
+
+from repro.net.aggregate import (
+    aggregate,
+    covers_same_space,
+    merge_siblings,
+    remove_covered,
+)
+from repro.net.asn import ASN, format_as_path, parse_as_path
+from repro.net.prefix import Address, Prefix
+from repro.net.trie import PrefixTrie
+
+__all__ = [
+    "ASN",
+    "Address",
+    "Prefix",
+    "PrefixTrie",
+    "aggregate",
+    "covers_same_space",
+    "format_as_path",
+    "merge_siblings",
+    "parse_as_path",
+    "remove_covered",
+]

@@ -1,0 +1,5 @@
+"""SDN layer: the BGP-speaking network controller ARTEMIS drives."""
+
+from repro.sdn.controller import BGPController, ControllerOp
+
+__all__ = ["BGPController", "ControllerOp"]

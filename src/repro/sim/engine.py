@@ -1,0 +1,186 @@
+"""The discrete-event engine.
+
+A minimal but complete priority-queue scheduler:
+
+* events fire in (time, sequence) order, so simultaneous events run in the
+  order they were scheduled — this plus seeded RNGs makes runs deterministic;
+* events can be cancelled through their :class:`EventHandle`;
+* periodic events reschedule themselves until cancelled;
+* :meth:`Engine.run` drains the queue (optionally up to a horizon), which is
+  also how "BGP convergence" is detected: the network has converged when no
+  BGP events remain.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class EventHandle:
+    """Cancellation / inspection handle returned by ``schedule*`` methods."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> bool:
+        """Cancel the event; returns False if it already fired/was cancelled."""
+        if self.fired or self.cancelled:
+            return False
+        self.cancelled = True
+        return True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not yet fired or cancelled."""
+        return not (self.fired or self.cancelled)
+
+    def __repr__(self) -> str:
+        state = "fired" if self.fired else "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.3f} {state}>"
+
+
+class Engine:
+    """Deterministic discrete-event scheduler with a float-seconds clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        bound = (lambda: callback(*args)) if args else callback
+        handle = EventHandle(time, next(self._seq), bound)
+        heapq.heappush(self._queue, (time, handle.seq, handle))
+        return handle
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        first_delay: Optional[float] = None,
+    ) -> EventHandle:
+        """Run ``callback()`` every ``interval`` seconds until cancelled.
+
+        Cancelling the returned handle stops all future firings.  The handle's
+        ``time`` attribute tracks the next scheduled firing.
+        """
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        delay = interval if first_delay is None else first_delay
+        # A stable outer handle that survives reschedules: we wrap each firing
+        # so the caller can cancel once and stop the whole series.
+        outer = EventHandle(self._now + delay, -1, callback)
+
+        def fire() -> None:
+            if outer.cancelled:
+                return
+            callback()
+            if not outer.cancelled:
+                inner = self.schedule(interval, fire)
+                outer.time = inner.time
+
+        inner = self.schedule(delay, fire)
+        outer.time = inner.time
+        return outer
+
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for _t, _s, h in self._queue if not h.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when the queue is empty."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> bool:
+        """Fire the single next event; returns False when none remain."""
+        while self._queue:
+            time, _seq, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            handle.fired = True
+            self.events_processed += 1
+            handle.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Drain the event queue.
+
+        ``until`` bounds simulated time (events after it stay queued and the
+        clock advances to ``until``); ``max_events`` bounds work as a runaway
+        backstop.  Returns the simulated time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("engine.run() re-entered from a callback")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"run() exceeded max_events={max_events}; likely a "
+                        "non-converging schedule (check MRAI / periodic tasks)"
+                    )
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> float:
+        """Advance the clock ``duration`` seconds (convenience for ``run``)."""
+        return self.run(until=self._now + duration, max_events=max_events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Engine now={self._now:.3f}s queued={len(self._queue)} "
+            f"processed={self.events_processed}>"
+        )

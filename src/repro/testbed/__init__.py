@@ -1,0 +1,12 @@
+"""PEERING-style testbed and hijack experiment orchestration."""
+
+from repro.testbed.peering import PeeringTestbed, VirtualAS
+from repro.testbed.scenario import ExperimentResult, HijackExperiment, ScenarioConfig
+
+__all__ = [
+    "ExperimentResult",
+    "HijackExperiment",
+    "PeeringTestbed",
+    "ScenarioConfig",
+    "VirtualAS",
+]

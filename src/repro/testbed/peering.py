@@ -1,0 +1,106 @@
+"""A PEERING-testbed analog.
+
+PEERING (Schlinker et al.) owns real ASNs and prefixes and lets researchers
+run *virtual ASes* that announce them into the Internet through muxes at
+multiple university/IXP sites.  The paper uses two such virtual ASes: the
+victim (ASN-1) announcing its prefix, and the hijacker (ASN-2) announcing
+the same prefix from different sites.
+
+Here a :class:`VirtualAS` is a stub speaker attached at runtime to one or
+more *site* ASes (acting as its transit providers).  Announcements can be
+issued directly (the hijacker does this) or through an SDN controller (the
+victim's ARTEMIS does this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.bgp.speaker import BGPSpeaker
+from repro.errors import TestbedError
+from repro.internet.network import Network
+from repro.net.prefix import Prefix
+from repro.sim.rng import SeededRNG
+
+#: Virtual-AS numbers start here (documentation/example range, far from
+#: generated topology ASNs and collector pseudo-ASNs).
+VIRTUAL_ASN_BASE = 61000
+
+
+class VirtualAS:
+    """A testbed AS announcing testbed prefixes through mux sites."""
+
+    def __init__(self, asn: int, speaker: BGPSpeaker, sites: List[int]):
+        self.asn = asn
+        self.speaker = speaker
+        self.sites = list(sites)
+
+    def announce(self, prefix: Union[Prefix, str]) -> None:
+        """Originate ``prefix`` (propagates via all attached sites)."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self.speaker.originate(prefix)
+
+    def withdraw(self, prefix: Union[Prefix, str]) -> None:
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self.speaker.withdraw_origin(prefix)
+
+    def announce_forged(
+        self, prefix: Union[Prefix, str], path_suffix: Sequence[int]
+    ) -> None:
+        """Announce with a forged AS-path tail (type-1/type-N hijack)."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self.speaker.originate_forged(prefix, path_suffix)
+
+    @property
+    def announced(self) -> List[Prefix]:
+        return self.speaker.originated_prefixes
+
+    def __repr__(self) -> str:
+        return f"VirtualAS(AS{self.asn} sites={self.sites})"
+
+
+class PeeringTestbed:
+    """Manages virtual ASes over a simulated Internet."""
+
+    def __init__(self, network: Network, seed: int = 0):
+        self.network = network
+        self.rng = SeededRNG(seed).substream("peering")
+        self._next_asn = VIRTUAL_ASN_BASE
+        self.virtual_ases: List[VirtualAS] = []
+
+    def available_sites(self) -> List[int]:
+        """Candidate mux sites: transit-capable (tier ≤ 2) ASes."""
+        return [
+            node.asn for node in self.network.graph.nodes() if node.tier <= 2
+        ]
+
+    def pick_sites(self, count: int, exclude: Sequence[int] = ()) -> List[int]:
+        """Randomly (deterministically) choose ``count`` distinct sites."""
+        pool = [s for s in self.available_sites() if s not in set(exclude)]
+        if len(pool) < count:
+            raise TestbedError(
+                f"only {len(pool)} candidate sites available, need {count}"
+            )
+        return sorted(self.rng.sample(pool, count))
+
+    def create_virtual_as(
+        self,
+        sites: Sequence[int],
+        asn: Optional[int] = None,
+    ) -> VirtualAS:
+        """Attach a new virtual AS buying transit at each of ``sites``."""
+        if not sites:
+            raise TestbedError("a virtual AS needs at least one site")
+        if asn is None:
+            asn = self._next_asn
+            self._next_asn += 1
+        speaker = self.network.attach_stub(asn, list(sites))
+        virtual = VirtualAS(asn, speaker, list(sites))
+        self.virtual_ases.append(virtual)
+        return virtual
+
+    def __repr__(self) -> str:
+        return f"<PeeringTestbed {len(self.virtual_ases)} virtual ASes>"

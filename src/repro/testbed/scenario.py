@@ -1,0 +1,531 @@
+"""The paper's three-phase hijack experiment, orchestrated end to end.
+
+(Phase-1) *Setup* — the victim virtual AS announces its prefix and the
+announcement converges everywhere, including the monitoring arsenal.
+(Phase-2) *Hijacking and detection* — a second virtual AS announces the same
+prefix from different sites; ARTEMIS detects the illegitimate origin from
+the first feed evidence.
+(Phase-3) *Mitigation* — ARTEMIS programs the de-aggregated sub-prefixes
+through the controller; the experiment measures when every AS in the
+ground-truth tracker has switched back to the legitimate origin.
+
+:class:`HijackExperiment` builds the whole environment (topology → network →
+testbed → monitors → controller → ARTEMIS) from one seeded
+:class:`ScenarioConfig` and returns an :class:`ExperimentResult` with the
+paper's three timings plus per-source and adoption detail.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.artemis import Artemis
+from repro.core.config import ArtemisConfig, OwnedPrefix
+from repro.core.mitigation import HelperFleet
+from repro.errors import ExperimentError
+from repro.feeds.deploy import MonitorDeployment, deploy_monitors
+from repro.internet.churn import BackgroundChurn, ChurnConfig
+from repro.internet.network import Network, NetworkConfig
+from repro.internet.tracker import OriginTracker
+from repro.net.prefix import Prefix
+from repro.sdn.controller import BGPController
+from repro.sim.latency import DelaySpec, Uniform, make_delay
+from repro.sim.rng import SeededRNG
+from repro.testbed.peering import PeeringTestbed, VirtualAS
+from repro.topology.generator import GeneratorConfig, generate_internet
+from repro.topology.graph import ASGraph
+
+
+class ScenarioConfig:
+    """Everything that defines one hijack experiment."""
+
+    def __init__(
+        self,
+        prefix: str = "10.0.0.0/23",
+        hijack_prefix: Optional[str] = None,
+        seed: int = 0,
+        topology: Optional[GeneratorConfig] = None,
+        graph: Optional[ASGraph] = None,
+        network: Optional[NetworkConfig] = None,
+        victim_sites: int = 2,
+        hijacker_sites: int = 2,
+        controller_delay: DelaySpec = None,
+        monitors: Optional[Dict] = None,
+        auto_mitigate: bool = True,
+        deaggregation_levels: int = 1,
+        max_announce_length_v4: int = 24,
+        baseline_settle: float = 150.0,
+        detection_timeout: float = 3600.0,
+        completion_timeout: float = 3600.0,
+        churn: Optional[ChurnConfig] = ChurnConfig(),
+        churn_warmup: float = 180.0,
+        observation_window: float = 600.0,
+        probe_depth: int = 1,
+        forge_origin: bool = False,
+        num_helpers: int = 0,
+        enabled_sources: Optional[Tuple[str, ...]] = None,
+        monitor_grace: float = 150.0,
+        rov_adoption: float = 0.0,
+    ):
+        self.prefix = Prefix.parse(prefix)
+        #: What the hijacker announces; defaults to the owned prefix itself
+        #: (exact hijack).  Set a more-specific for a sub-prefix hijack.
+        self.hijack_prefix = (
+            Prefix.parse(hijack_prefix) if hijack_prefix is not None else self.prefix
+        )
+        if not self.prefix.contains(self.hijack_prefix):
+            raise ExperimentError(
+                f"hijack prefix {self.hijack_prefix} outside owned {self.prefix}"
+            )
+        self.seed = int(seed)
+        self.topology = topology or GeneratorConfig()
+        self.graph = graph
+        self.network = network
+        self.victim_sites = int(victim_sites)
+        self.hijacker_sites = int(hijacker_sites)
+        #: SDN programming latency (paper ≈ 15 s).
+        self.controller_delay = (
+            make_delay(controller_delay)
+            if controller_delay is not None
+            else Uniform(10.0, 20.0)
+        )
+        #: Keyword arguments forwarded to :func:`deploy_monitors`.
+        self.monitors = dict(monitors or {})
+        self.auto_mitigate = bool(auto_mitigate)
+        self.deaggregation_levels = int(deaggregation_levels)
+        self.max_announce_length_v4 = int(max_announce_length_v4)
+        #: Extra settle time after convergence so LG baselines are polled.
+        self.baseline_settle = float(baseline_settle)
+        self.detection_timeout = float(detection_timeout)
+        self.completion_timeout = float(completion_timeout)
+        #: Background churn keeping MRAI timers realistically armed
+        #: (pass ``churn=None`` for a quiet laboratory network).
+        self.churn = churn
+        self.churn_warmup = float(churn_warmup)
+        #: Ground-truth probe granularity below the owned prefix (1 = the
+        #: de-aggregation halves; raise it when the hijacker announces a
+        #: deeper more-specific, e.g. 2 for a /24 inside a /22).
+        self.probe_depth = int(probe_depth)
+        #: Type-1 hijack: the hijacker forges ``[hijacker, victim]`` paths
+        #: so origin checks pass and only path validation catches it.
+        self.forge_origin = bool(forge_origin)
+        #: Outsourced-mitigation helper ASes (tier-1s with an agreement),
+        #: engaged when the victim alone cannot fully recover.
+        self.num_helpers = int(num_helpers)
+        #: Which sources ARTEMIS consumes ("ris", "bgpmon", "periscope").
+        #: The full infrastructure is always deployed — ablating at the
+        #: subscription level keeps the simulated world bit-identical
+        #: across configurations (clean A1 ablation).
+        valid = {"ris", "bgpmon", "periscope"}
+        if enabled_sources is None:
+            self.enabled_sources = tuple(sorted(valid))
+        else:
+            unknown = set(enabled_sources) - valid
+            if unknown:
+                raise ExperimentError(f"unknown sources {sorted(unknown)}")
+            if not enabled_sources:
+                raise ExperimentError("ARTEMIS needs at least one source")
+            self.enabled_sources = tuple(sorted(set(enabled_sources)))
+        #: Extra time after ground-truth recovery for feeds to flush, so the
+        #: monitoring view's curve also ends clean.
+        self.monitor_grace = float(monitor_grace)
+        #: Fraction of ASes enforcing RPKI route-origin validation; a ROA
+        #: for the victim's prefix is published during setup (the
+        #: prevention-vs-detection comparison of bench A4).
+        if not 0.0 <= rov_adoption <= 1.0:
+            raise ExperimentError("rov_adoption must be a probability")
+        self.rov_adoption = float(rov_adoption)
+        #: How long to keep observing when full recovery is not expected
+        #: (no auto-mitigation, or the /24 partial-recovery case).
+        self.observation_window = float(observation_window)
+
+
+class ExperimentResult:
+    """The measured outcome of one experiment (the paper's §3 quantities)."""
+
+    def __init__(self) -> None:
+        self.seed: int = 0
+        self.prefix: Optional[Prefix] = None
+        self.victim_asn: int = 0
+        self.hijacker_asn: int = 0
+        #: Simulated instant the hijack announcement was made.
+        self.hijack_time: float = 0.0
+        #: Hijack → first alert (paper: ≈45 s mean).
+        self.detection_delay: Optional[float] = None
+        #: Alert → de-aggregated prefixes announced (paper: ≈15 s).
+        self.announce_delay: Optional[float] = None
+        #: Announcement → every AS back on the legit origin (paper: ≤5 min).
+        self.completion_delay: Optional[float] = None
+        #: Hijack → fully mitigated (paper: ≈6 min).
+        self.total_time: Optional[float] = None
+        #: Detection delay each individual source achieved.
+        self.per_source_delay: Dict[str, float] = {}
+        #: Peak fraction of ASes that had (partly) switched to the hijacker.
+        self.hijack_fraction_peak: float = 0.0
+        #: Fraction still on the hijacker at the end (>0 for /24 cases).
+        self.residual_hijack_fraction: float = 0.0
+        self.mitigated: bool = False
+        self.alert_type: Optional[str] = None
+        self.strategy: Optional[str] = None
+        #: Ground-truth (time, fraction-legit) curve from the hijack onward.
+        self.ground_truth_series: List[Tuple[float, float]] = []
+        #: Feed-derived (time, fraction-legit) curve from ARTEMIS monitoring.
+        self.monitor_series: List[Tuple[float, float]] = []
+        self.lg_queries: int = 0
+        self.feed_events_checked: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "prefix": str(self.prefix) if self.prefix else None,
+            "victim_asn": self.victim_asn,
+            "hijacker_asn": self.hijacker_asn,
+            "hijack_time": self.hijack_time,
+            "detection_delay": self.detection_delay,
+            "announce_delay": self.announce_delay,
+            "completion_delay": self.completion_delay,
+            "total_time": self.total_time,
+            "per_source_delay": dict(self.per_source_delay),
+            "hijack_fraction_peak": self.hijack_fraction_peak,
+            "residual_hijack_fraction": self.residual_hijack_fraction,
+            "mitigated": self.mitigated,
+            "alert_type": self.alert_type,
+            "strategy": self.strategy,
+            "lg_queries": self.lg_queries,
+            "feed_events_checked": self.feed_events_checked,
+        }
+
+    def __repr__(self) -> str:
+        def fmt(value: Optional[float]) -> str:
+            return f"{value:.1f}s" if value is not None else "-"
+
+        return (
+            f"ExperimentResult(detect={fmt(self.detection_delay)} "
+            f"announce={fmt(self.announce_delay)} "
+            f"complete={fmt(self.completion_delay)} total={fmt(self.total_time)})"
+        )
+
+
+class HijackExperiment:
+    """Build and run one three-phase experiment."""
+
+    def __init__(self, config: Optional[ScenarioConfig] = None):
+        self.config = config or ScenarioConfig()
+        self.network: Optional[Network] = None
+        self.testbed: Optional[PeeringTestbed] = None
+        self.victim: Optional[VirtualAS] = None
+        self.hijacker: Optional[VirtualAS] = None
+        self.monitors: Optional[MonitorDeployment] = None
+        self.controller: Optional[BGPController] = None
+        self.artemis: Optional[Artemis] = None
+        self.tracker: Optional[OriginTracker] = None
+        #: Only for forged-origin runs: tracks hijacker-on-path instead of
+        #: origin (the origin never changes in a type-1 hijack).
+        self.path_tracker: Optional[OriginTracker] = None
+        self.churn: Optional[BackgroundChurn] = None
+        self._setup_done = False
+
+    # ------------------------------------------------------------------- setup
+
+    def setup(self) -> None:
+        """Phase-0: build the world (idempotent)."""
+        if self._setup_done:
+            return
+        cfg = self.config
+        graph = cfg.graph if cfg.graph is not None else generate_internet(
+            cfg.topology, seed=cfg.seed
+        )
+        network_config = cfg.network
+        if cfg.rov_adoption > 0.0:
+            network_config = network_config or NetworkConfig()
+            network_config.rov_adoption = cfg.rov_adoption
+        self.network = Network(graph, config=network_config, seed=cfg.seed)
+        self.testbed = PeeringTestbed(self.network, seed=cfg.seed)
+        victim_sites = self.testbed.pick_sites(cfg.victim_sites)
+        hijacker_sites = self.testbed.pick_sites(
+            cfg.hijacker_sites, exclude=victim_sites
+        )
+        self.victim = self.testbed.create_virtual_as(victim_sites)
+        self.hijacker = self.testbed.create_virtual_as(hijacker_sites)
+        if cfg.rov_adoption > 0.0:
+            # Publish the victim's ROA, authorising the prefix and its
+            # de-aggregated more-specifics down to the filtering limit.
+            from repro.bgp.rpki import ROA
+
+            self.network.rpki.add_roa(
+                ROA(
+                    cfg.prefix,
+                    self.victim.asn,
+                    max_length=(
+                        cfg.max_announce_length_v4
+                        if cfg.prefix.version == 4
+                        else 48
+                    ),
+                )
+            )
+        # Probes must be at least as fine as the hijacked prefix, or the
+        # ground truth cannot see a deep sub-prefix hijack at all.
+        probe_depth = max(
+            cfg.probe_depth, cfg.hijack_prefix.length - cfg.prefix.length
+        )
+        self.tracker = OriginTracker(self.network, cfg.prefix, probe_depth=probe_depth)
+        self.monitors = deploy_monitors(self.network, seed=cfg.seed, **cfg.monitors)
+        if cfg.churn is not None:
+            self.churn = BackgroundChurn(self.network, cfg.churn, seed=cfg.seed)
+        self.controller = BGPController(
+            self.network.engine,
+            [self.victim.speaker],
+            programming_delay=cfg.controller_delay,
+            rng=SeededRNG(cfg.seed).substream("controller"),
+        )
+        helpers = None
+        helper_asns: List[int] = []
+        if cfg.num_helpers > 0:
+            helper_asns = self._pick_helpers(cfg.num_helpers)
+            helpers = HelperFleet(
+                [
+                    BGPController(
+                        self.network.engine,
+                        [self.network.speaker(asn)],
+                        programming_delay=cfg.controller_delay,
+                        rng=SeededRNG(cfg.seed).substream("helper-controller", asn),
+                    )
+                    for asn in helper_asns
+                ],
+                rng=SeededRNG(cfg.seed).substream("helper-fleet"),
+            )
+        # Helpers announce by agreement → whitelist them as origins.  For
+        # forged-path experiments, the victim's transit sites are the only
+        # legitimate first hops (enables type-1 / PATH detection).
+        artemis_config = ArtemisConfig(
+            owned=[
+                OwnedPrefix(
+                    cfg.prefix,
+                    {self.victim.asn, *helper_asns},
+                    legit_upstreams=(
+                        set(self.victim.sites) if cfg.forge_origin else None
+                    ),
+                )
+            ],
+            auto_mitigate=cfg.auto_mitigate,
+            deaggregation_levels=cfg.deaggregation_levels,
+            max_announce_length_v4=cfg.max_announce_length_v4,
+        )
+        streams = []
+        if "ris" in cfg.enabled_sources:
+            streams.append(self.monitors.ris)
+        if "bgpmon" in cfg.enabled_sources:
+            streams.append(self.monitors.bgpmon)
+        periscope = (
+            self.monitors.periscope if "periscope" in cfg.enabled_sources else None
+        )
+        self.artemis = Artemis(
+            artemis_config,
+            self.controller,
+            sources=streams,
+            periscope=periscope,
+            helpers=helpers,
+        )
+        if cfg.forge_origin:
+            self.path_tracker = OriginTracker(
+                self.network,
+                cfg.prefix,
+                probe_depth=probe_depth,
+                value_fn=self._make_path_presence_fn(self.hijacker.asn),
+            )
+        self._setup_done = True
+
+    def _pick_helpers(self, count: int) -> List[int]:
+        """Helper ASes: best-connected transit networks not already involved
+        (tier-1 preferred — outsourcing works because helpers sit at better
+        positions than the victim)."""
+        involved = set(self.victim.sites) | set(self.hijacker.sites)
+        candidates = [
+            node.asn
+            for node in self.network.graph.nodes()
+            if node.tier <= 2 and node.asn not in involved
+        ]
+        if len(candidates) < count:
+            raise ExperimentError(
+                f"only {len(candidates)} transit helpers available, need {count}"
+            )
+        graph = self.network.graph
+        ranked = sorted(
+            candidates, key=lambda a: (graph.node(a).tier, -graph.degree(a), a)
+        )
+        return sorted(ranked[:count])
+
+    @staticmethod
+    def _make_path_presence_fn(target_asn: int):
+        """Tracker value: is ``target_asn`` on the selected path (MitM)?"""
+
+        def on_path(speaker, probe):
+            route = speaker.resolve(probe)
+            if route is None:
+                return False
+            if speaker.asn == target_asn:
+                # The attacker always "routes via" itself for forged space.
+                return bool(route.is_local)
+            return target_asn in route.as_path
+
+        return on_path
+
+    # ----------------------------------------------------------------- helpers
+
+    def _run_until(self, predicate, timeout: float) -> bool:
+        """Step the engine until ``predicate()`` or simulated ``timeout``."""
+        engine = self.network.engine
+        deadline = engine.now + timeout
+        while not predicate():
+            next_time = engine.peek_time()
+            if next_time is None or next_time > deadline:
+                return predicate()
+            engine.step()
+        return True
+
+    def _run_until_routing(self, origins, timeout: float, tracker=None) -> bool:
+        """Step until every tracked AS's probes all resolve into ``origins``.
+
+        The (relatively expensive) data-plane check is re-evaluated only
+        when the tracker logged new flips, so stepping stays O(1) per event.
+        """
+        tracker = tracker or self.tracker
+        engine = self.network.engine
+        deadline = engine.now + timeout
+        seen_flips = -1
+        while True:
+            if len(tracker.flips) != seen_flips:
+                seen_flips = len(tracker.flips)
+                if tracker.all_route_to(origins):
+                    return True
+            next_time = engine.peek_time()
+            if next_time is None or next_time > deadline:
+                return tracker.all_route_to(origins)
+            engine.step()
+
+    # --------------------------------------------------------------------- run
+
+    def run(self) -> ExperimentResult:
+        """Execute all three phases and collect the measurements."""
+        cfg = self.config
+        self.setup()
+        network, engine = self.network, self.network.engine
+        result = ExperimentResult()
+        result.seed = cfg.seed
+        result.prefix = cfg.prefix
+        result.victim_asn = self.victim.asn
+        result.hijacker_asn = self.hijacker.asn
+
+        # Phase-1: legitimate announcement, wait for convergence + LG baseline.
+        self.artemis.start()
+        if self.churn is not None:
+            self.churn.start()
+            network.run_for(cfg.churn_warmup)
+        self.victim.announce(cfg.prefix)
+        if not self._run_until_routing({self.victim.asn}, cfg.completion_timeout):
+            raise ExperimentError(
+                "phase-1 failed: not every AS routes to the victim after setup"
+            )
+        # Let the looking glasses complete at least one full poll cycle so
+        # Periscope has a baseline to diff against.
+        settle = max(
+            cfg.baseline_settle, self.monitors.periscope.poll_interval * 1.25
+        )
+        network.run_for(settle)
+        if self.artemis.alerts:
+            raise ExperimentError(
+                f"false alarm during setup: {self.artemis.alerts[0]!r}"
+            )
+
+        # Phase-2: hijack and detection.
+        hijack_time = engine.now
+        result.hijack_time = hijack_time
+        if cfg.forge_origin:
+            # Type-1 attack: claim direct adjacency to the victim's origin.
+            self.hijacker.announce_forged(cfg.hijack_prefix, (self.victim.asn,))
+        else:
+            self.hijacker.announce(cfg.hijack_prefix)
+        detected = self._run_until(
+            lambda: bool(self.artemis.alerts), cfg.detection_timeout
+        )
+        if detected:
+            alert = self.artemis.alerts[0]
+            result.detection_delay = alert.detected_at - hijack_time
+            result.alert_type = alert.type.value
+            result.per_source_delay = self.artemis.detection.per_source_delay(
+                alert, hijack_time
+            )
+
+        # Phase-3: mitigation (already triggered by the alert callback when
+        # auto-mitigation is on) and recovery.  For forged-origin (type-1)
+        # hijacks the origin never changes, so recovery is judged by the
+        # path tracker instead: every AS's path must avoid the hijacker.
+        forged = cfg.forge_origin and self.path_tracker is not None
+        completion_tracker = self.path_tracker if forged else self.tracker
+        accepted = {False} if forged else {self.victim.asn}
+        helpers = self.artemis.mitigation.helpers
+        if not forged and helpers is not None:
+            # Helper-origin routes deliver traffic to the victim by tunnel.
+            accepted |= set(helpers.helper_asns)
+        if detected and cfg.auto_mitigate:
+            action = self.artemis.actions[0]
+            self._run_until(
+                lambda: action.announced_at is not None, cfg.completion_timeout
+            )
+            result.announce_delay = action.announce_delay
+            result.strategy = action.strategy
+            recovered = self._run_until_routing(
+                accepted,
+                cfg.completion_timeout
+                if action.expected_full_recovery
+                else cfg.observation_window,
+                tracker=completion_tracker,
+            )
+            if recovered:
+                completion = completion_tracker.first_time_all_route_to(
+                    accepted, since=action.announced_at or hijack_time
+                )
+                if completion is not None:
+                    result.completion_delay = completion - (
+                        action.announced_at or hijack_time
+                    )
+                    result.total_time = completion - hijack_time
+                    result.mitigated = True
+                    alert.resolve(completion)
+            else:
+                # Partial recovery (e.g. the /24 case): observe a bit longer
+                # so the residual fraction is post-convergence.
+                network.run_for(cfg.observation_window / 2)
+        else:
+            # No (auto-)mitigation: just observe the hijack's spread.
+            network.run_for(cfg.observation_window)
+
+        # Let the feeds flush so the monitoring view also ends clean.
+        network.run_for(cfg.monitor_grace)
+
+        # Adoption statistics from the ground-truth flip log.  "any" mode:
+        # an AS counts as affected when any probe routes to (or via, for
+        # forged paths) the hijacker — a sub-prefix hijack steals only part
+        # of the owned space.
+        adoption_accepted = {True} if forged else {self.hijacker.asn}
+        hijacker_series = completion_tracker.fraction_series(
+            adoption_accepted, start_time=hijack_time, mode="any"
+        )
+        result.hijack_fraction_peak = max(
+            (fraction for _t, fraction in hijacker_series), default=0.0
+        )
+        result.residual_hijack_fraction = (
+            hijacker_series[-1][1] if hijacker_series else 0.0
+        )
+        # Start the series an instant before the hijack so the first point
+        # shows the clean phase-1 state (the hijacker's own flip lands at
+        # exactly hijack_time).
+        just_before = math.nextafter(hijack_time, -math.inf)
+        result.ground_truth_series = completion_tracker.fraction_series(
+            accepted, start_time=just_before
+        )
+        result.monitor_series = self.artemis.monitoring.fraction_series(cfg.prefix)
+        result.lg_queries = self.monitors.periscope.queries_sent
+        result.feed_events_checked = self.artemis.detection.events_checked
+        return result

@@ -1,0 +1,111 @@
+"""Geographic embedding of the AS topology.
+
+Every AS is placed in a :class:`Region` (a metro area).  Geography serves two
+purposes:
+
+* **latency** — BGP session propagation delay between two ASes gets a floor
+  proportional to great-circle distance (fibre at ~2/3 c);
+* **visualisation** — the demo's geographic map of vantage points flipping to
+  the hijacker needs coordinates (:mod:`repro.viz.geomap`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.errors import TopologyError
+
+#: Speed of light in fibre, km/s (≈ 2/3 of c in vacuum).
+FIBRE_KM_PER_SECOND = 200_000.0
+
+#: Extra path stretch over great-circle distance for real fibre routes.
+PATH_STRETCH = 1.4
+
+
+class Region:
+    """A metro area with coordinates."""
+
+    __slots__ = ("name", "latitude", "longitude", "continent")
+
+    def __init__(self, name: str, latitude: float, longitude: float, continent: str):
+        if not -90.0 <= latitude <= 90.0:
+            raise TopologyError(f"latitude {latitude} out of range for {name}")
+        if not -180.0 <= longitude <= 180.0:
+            raise TopologyError(f"longitude {longitude} out of range for {name}")
+        self.name = name
+        self.latitude = latitude
+        self.longitude = longitude
+        self.continent = continent
+
+    def __repr__(self) -> str:
+        return f"Region({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+#: The default world map: IXP-dense metros across continents.
+REGIONS: List[Region] = [
+    Region("amsterdam", 52.37, 4.90, "europe"),
+    Region("frankfurt", 50.11, 8.68, "europe"),
+    Region("london", 51.51, -0.13, "europe"),
+    Region("athens", 37.98, 23.73, "europe"),
+    Region("stockholm", 59.33, 18.07, "europe"),
+    Region("new-york", 40.71, -74.01, "north-america"),
+    Region("ashburn", 39.04, -77.49, "north-america"),
+    Region("chicago", 41.88, -87.63, "north-america"),
+    Region("seattle", 47.61, -122.33, "north-america"),
+    Region("los-angeles", 34.05, -118.24, "north-america"),
+    Region("sao-paulo", -23.55, -46.63, "south-america"),
+    Region("johannesburg", -26.20, 28.05, "africa"),
+    Region("singapore", 1.35, 103.82, "asia"),
+    Region("tokyo", 35.68, 139.69, "asia"),
+    Region("hong-kong", 22.32, 114.17, "asia"),
+    Region("sydney", -33.87, 151.21, "oceania"),
+]
+
+_BY_NAME: Dict[str, Region] = {region.name: region for region in REGIONS}
+
+
+def region_by_name(name: str) -> Region:
+    """Look up a default region; raises :class:`TopologyError` if unknown."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise TopologyError(f"unknown region {name!r}") from None
+
+
+def great_circle_km(a: Region, b: Region) -> float:
+    """Haversine great-circle distance between two regions, in km."""
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * 6371.0 * math.asin(min(1.0, math.sqrt(h)))
+
+
+def propagation_floor_seconds(a: Optional[Region], b: Optional[Region]) -> float:
+    """One-way propagation floor between two regions (seconds).
+
+    Unknown regions fall back to a continental-scale default so partially
+    annotated topologies still get sensible delays.
+    """
+    if a is None or b is None:
+        return 0.030
+    distance = great_circle_km(a, b) * PATH_STRETCH
+    # Router/switch floor even for same-metro sessions.
+    return max(0.001, distance / FIBRE_KM_PER_SECOND)
+
+
+def session_delay_between(a: Optional[Region], b: Optional[Region]) -> "Delay":
+    """Default session delay model: geographic floor + queueing tail."""
+    from repro.sim.latency import Exponential, Shifted
+
+    return Shifted(propagation_floor_seconds(a, b) + 0.005, Exponential(0.020))

@@ -1,0 +1,241 @@
+"""The AS-relationship graph.
+
+Nodes are ASes (with tier and region annotations); edges are either
+customer→provider or peer↔peer, following the standard CAIDA relationship
+model.  The graph is pure structure — no BGP state — and is consumed by
+:class:`repro.internet.Network`, which instantiates one speaker per AS and
+one session per link.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.bgp.policy import Relationship
+from repro.errors import TopologyError
+from repro.topology.geo import Region
+
+
+class ASNode:
+    """One AS: number, hierarchy tier (1 = top), region, free-form tags."""
+
+    __slots__ = ("asn", "tier", "region", "tags")
+
+    def __init__(
+        self,
+        asn: int,
+        tier: int = 3,
+        region: Optional[Region] = None,
+        tags: Optional[Set[str]] = None,
+    ):
+        if asn < 0:
+            raise TopologyError(f"invalid ASN {asn}")
+        self.asn = int(asn)
+        self.tier = int(tier)
+        self.region = region
+        self.tags: Set[str] = set(tags or ())
+
+    def __repr__(self) -> str:
+        where = f" @{self.region.name}" if self.region else ""
+        return f"ASNode(AS{self.asn} tier{self.tier}{where})"
+
+
+class ASGraph:
+    """Mutable AS-level topology with relationship semantics."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, ASNode] = {}
+        #: asn -> set of provider asns
+        self._providers: Dict[int, Set[int]] = {}
+        #: asn -> set of customer asns
+        self._customers: Dict[int, Set[int]] = {}
+        #: asn -> set of peer asns
+        self._peers: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------- nodes
+
+    def add_as(
+        self,
+        asn: int,
+        tier: int = 3,
+        region: Optional[Region] = None,
+        tags: Optional[Set[str]] = None,
+    ) -> ASNode:
+        if asn in self._nodes:
+            raise TopologyError(f"AS{asn} already exists")
+        node = ASNode(asn, tier, region, tags)
+        self._nodes[asn] = node
+        self._providers[asn] = set()
+        self._customers[asn] = set()
+        self._peers[asn] = set()
+        return node
+
+    def node(self, asn: int) -> ASNode:
+        try:
+            return self._nodes[asn]
+        except KeyError:
+            raise TopologyError(f"AS{asn} is not in the topology") from None
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def asns(self) -> List[int]:
+        """All ASNs in deterministic (sorted) order."""
+        return sorted(self._nodes)
+
+    def nodes(self) -> Iterator[ASNode]:
+        for asn in self.asns():
+            yield self._nodes[asn]
+
+    # ------------------------------------------------------------------- edges
+
+    def _check_new_edge(self, a: int, b: int) -> None:
+        if a == b:
+            raise TopologyError(f"self-link on AS{a}")
+        for asn in (a, b):
+            if asn not in self._nodes:
+                raise TopologyError(f"AS{asn} is not in the topology")
+        if (
+            b in self._providers[a]
+            or b in self._customers[a]
+            or b in self._peers[a]
+        ):
+            raise TopologyError(f"AS{a} and AS{b} are already linked")
+
+    def add_customer_provider(self, customer: int, provider: int) -> None:
+        """Add a transit link: ``customer`` buys transit from ``provider``."""
+        self._check_new_edge(customer, provider)
+        self._providers[customer].add(provider)
+        self._customers[provider].add(customer)
+
+    def add_peering(self, a: int, b: int) -> None:
+        """Add a settlement-free peering link."""
+        self._check_new_edge(a, b)
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    def providers_of(self, asn: int) -> List[int]:
+        self.node(asn)
+        return sorted(self._providers[asn])
+
+    def customers_of(self, asn: int) -> List[int]:
+        self.node(asn)
+        return sorted(self._customers[asn])
+
+    def peers_of(self, asn: int) -> List[int]:
+        self.node(asn)
+        return sorted(self._peers[asn])
+
+    def linked(self, a: int, b: int) -> bool:
+        """True if any link (transit or peering) already joins ``a`` and ``b``."""
+        self.node(a)
+        self.node(b)
+        return (
+            b in self._providers[a]
+            or b in self._customers[a]
+            or b in self._peers[a]
+        )
+
+    def degree(self, asn: int) -> int:
+        self.node(asn)
+        return (
+            len(self._providers[asn])
+            + len(self._customers[asn])
+            + len(self._peers[asn])
+        )
+
+    def neighbors(self, asn: int) -> List[Tuple[int, Relationship]]:
+        """Neighbors with *my* view of the relationship, sorted by ASN."""
+        self.node(asn)
+        result = [(n, Relationship.CUSTOMER) for n in self._customers[asn]]
+        result += [(n, Relationship.PEER) for n in self._peers[asn]]
+        result += [(n, Relationship.PROVIDER) for n in self._providers[asn]]
+        return sorted(result, key=lambda pair: pair[0])
+
+    def links(self) -> Iterator[Tuple[int, int, Relationship]]:
+        """Each physical link once: ``(a, b, a's view of b)``.
+
+        Customer-provider links are yielded from the customer side
+        (``Relationship.PROVIDER``); peering links from the lower ASN.
+        """
+        for asn in self.asns():
+            for provider in sorted(self._providers[asn]):
+                yield asn, provider, Relationship.PROVIDER
+            for peer in sorted(self._peers[asn]):
+                if asn < peer:
+                    yield asn, peer, Relationship.PEER
+
+    def link_count(self) -> int:
+        return sum(1 for _link in self.links())
+
+    # -------------------------------------------------------------- validation
+
+    def stubs(self) -> List[int]:
+        """ASes with no customers (the topology's leaves)."""
+        return [asn for asn in self.asns() if not self._customers[asn]]
+
+    def tier1(self) -> List[int]:
+        """ASes with no providers (the top of the hierarchy)."""
+        return [asn for asn in self.asns() if not self._providers[asn]]
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`TopologyError`.
+
+        * the customer→provider digraph is acyclic (no "mutual transit");
+        * every AS can reach a provider-free AS by following providers,
+          i.e. the hierarchy is rooted (implied by acyclicity + finiteness);
+        * the undirected graph is connected.
+        """
+        # Cycle check on the provider digraph (iterative DFS, colors).
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {asn: WHITE for asn in self._nodes}
+        for start in self.asns():
+            if color[start] != WHITE:
+                continue
+            stack: List[Tuple[int, Iterator[int]]] = [
+                (start, iter(sorted(self._providers[start])))
+            ]
+            color[start] = GREY
+            while stack:
+                asn, it = stack[-1]
+                advanced = False
+                for provider in it:
+                    if color[provider] == GREY:
+                        raise TopologyError(
+                            f"provider cycle through AS{asn}→AS{provider}"
+                        )
+                    if color[provider] == WHITE:
+                        color[provider] = GREY
+                        stack.append(
+                            (provider, iter(sorted(self._providers[provider])))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    color[asn] = BLACK
+                    stack.pop()
+        # Connectivity on the undirected graph.
+        if not self._nodes:
+            return
+        seen: Set[int] = set()
+        frontier = [self.asns()[0]]
+        while frontier:
+            asn = frontier.pop()
+            if asn in seen:
+                continue
+            seen.add(asn)
+            frontier.extend(self._providers[asn])
+            frontier.extend(self._customers[asn])
+            frontier.extend(self._peers[asn])
+        if len(seen) != len(self._nodes):
+            missing = sorted(set(self._nodes) - seen)[:5]
+            raise TopologyError(
+                f"topology is disconnected; e.g. AS{missing[0]} unreachable "
+                f"({len(self._nodes) - len(seen)} ASes isolated)"
+            )
+
+    def __repr__(self) -> str:
+        return f"<ASGraph {len(self)} ASes, {self.link_count()} links>"

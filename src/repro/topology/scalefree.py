@@ -1,0 +1,136 @@
+"""Scale-free (preferential-attachment) Internet generator.
+
+An alternative to the hierarchical generator for robustness studies: new
+ASes attach to existing providers with probability proportional to current
+degree (Barabási–Albert flavoured, adapted to produce a valid
+customer-provider hierarchy plus degree-assortative peering).  The result
+has the heavy-tailed degree distribution observed in the real AS graph,
+with hubs that emerge rather than being declared.
+
+Hijack dynamics on scale-free graphs stress different paths than the
+hierarchical default (hub capture matters more, lateral peering less), so
+re-running the reproduction suites on this generator is a cheap external
+validity check — `tests/test_scalefree.py` does exactly that at small
+scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import TopologyError
+from repro.sim.rng import SeededRNG
+from repro.topology.geo import REGIONS, Region
+from repro.topology.graph import ASGraph
+
+
+class ScaleFreeConfig:
+    """Knobs for :func:`generate_scalefree_internet`."""
+
+    def __init__(
+        self,
+        num_ases: int = 300,
+        seed_clique: int = 4,
+        min_providers: int = 1,
+        max_providers: int = 3,
+        peering_fraction: float = 0.15,
+        first_asn: int = 1,
+        regions: Optional[List[Region]] = None,
+    ):
+        if num_ases < seed_clique + 1:
+            raise TopologyError("need more ASes than the seed clique")
+        if seed_clique < 2:
+            raise TopologyError("seed clique needs at least two ASes")
+        if not 1 <= min_providers <= max_providers:
+            raise TopologyError("invalid provider count bounds")
+        if not 0.0 <= peering_fraction <= 1.0:
+            raise TopologyError("peering_fraction must be a probability")
+        self.num_ases = int(num_ases)
+        self.seed_clique = int(seed_clique)
+        self.min_providers = int(min_providers)
+        self.max_providers = int(max_providers)
+        #: Fraction of ASes that also establish one lateral peering link
+        #: with a degree-comparable AS.
+        self.peering_fraction = float(peering_fraction)
+        self.first_asn = int(first_asn)
+        self.regions = list(regions) if regions is not None else list(REGIONS)
+
+
+def generate_scalefree_internet(
+    config: Optional[ScaleFreeConfig] = None,
+    seed: int = 0,
+) -> ASGraph:
+    """Generate a validated scale-free AS graph.
+
+    Construction keeps the customer→provider digraph acyclic by only
+    attaching *new* ASes as customers of *existing* ones (arrival order is
+    a topological order), so Gao-Rexford convergence is guaranteed.
+    """
+    cfg = config or ScaleFreeConfig()
+    rng = SeededRNG(seed).substream("scalefree")
+    graph = ASGraph()
+
+    def pick_region() -> Region:
+        return rng.choice(cfg.regions)
+
+    # Seed: a transit-free peering clique (the genesis tier-1s).
+    asns: List[int] = []
+    next_asn = cfg.first_asn
+    for _ in range(cfg.seed_clique):
+        graph.add_as(next_asn, tier=1, region=pick_region(), tags={"tier1"})
+        asns.append(next_asn)
+        next_asn += 1
+    for i, a in enumerate(asns):
+        for b in asns[i + 1:]:
+            graph.add_peering(a, b)
+
+    # Preferential attachment: degree-weighted provider choice.  The
+    # repeated-nodes trick gives degree-proportional sampling in O(1).
+    degree_pool: List[int] = []
+    for asn in asns:
+        degree_pool.extend([asn] * graph.degree(asn))
+
+    while len(asns) < cfg.num_ases:
+        asn = next_asn
+        next_asn += 1
+        graph.add_as(asn, tier=3, region=pick_region())
+        want = rng.randint(cfg.min_providers, cfg.max_providers)
+        providers: List[int] = []
+        attempts = 0
+        while len(providers) < want and attempts < 50:
+            attempts += 1
+            provider = rng.choice(degree_pool)
+            if provider != asn and provider not in providers:
+                providers.append(provider)
+        if not providers:  # pathological RNG streak: attach to the oldest
+            providers = [asns[0]]
+        for provider in providers:
+            graph.add_customer_provider(asn, provider)
+            degree_pool.extend([provider, asn])
+        asns.append(asn)
+
+    # Re-tier by emergent structure: providers of others become transit.
+    for node in graph.nodes():
+        if node.tier == 1:
+            continue
+        node.tier = 2 if graph.customers_of(node.asn) else 3
+        if node.tier == 2:
+            node.tags.add("transit")
+        else:
+            node.tags.add("stub")
+
+    # Lateral peering between degree-comparable transit ASes.
+    transit = [n.asn for n in graph.nodes() if n.tier == 2]
+    transit.sort(key=lambda a: graph.degree(a))
+    for index, asn in enumerate(transit):
+        if rng.random() >= cfg.peering_fraction:
+            continue
+        # Peer with a close-by entry in the degree ranking.
+        lo = max(0, index - 3)
+        hi = min(len(transit), index + 4)
+        candidates = [t for t in transit[lo:hi] if t != asn and not graph.linked(asn, t)]
+        if candidates:
+            graph.add_peering(asn, rng.choice(candidates))
+
+    graph.validate()
+    return graph

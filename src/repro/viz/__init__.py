@@ -1,0 +1,13 @@
+"""Visualisation of hijack spread and mitigation (the demo's deliverable)."""
+
+from repro.viz.geomap import GeoMapRenderer
+from repro.viz.html import render_html, save_html
+from repro.viz.timeline import ExperimentTimeline, render_experiment_report
+
+__all__ = [
+    "ExperimentTimeline",
+    "GeoMapRenderer",
+    "render_experiment_report",
+    "render_html",
+    "save_html",
+]

@@ -1,0 +1,116 @@
+"""Textual experiment timelines and end-of-run reports.
+
+:class:`ExperimentTimeline` collects labelled instants (phase starts,
+alerts, controller ops, completion) and renders them as a proportional text
+timeline; :func:`render_experiment_report` combines the timeline with the
+recovery curves into the report the examples print.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.eval.report import format_duration, format_series
+from repro.testbed.scenario import ExperimentResult
+
+
+class ExperimentTimeline:
+    """An ordered list of labelled instants."""
+
+    def __init__(self) -> None:
+        self.marks: List[Tuple[float, str]] = []
+
+    def mark(self, when: float, label: str) -> None:
+        if self.marks and when < self.marks[-1][0]:
+            raise ReproError(
+                f"timeline mark {label!r} at {when} precedes previous mark"
+            )
+        self.marks.append((when, label))
+
+    def render(self, width: int = 68) -> str:
+        """Proportional single-axis rendering with one labelled row per mark."""
+        if not self.marks:
+            return "(empty timeline)"
+        t0 = self.marks[0][0]
+        t1 = self.marks[-1][0]
+        span = (t1 - t0) or 1.0
+        lines = []
+        axis = ["-"] * width
+        for when, _label in self.marks:
+            position = int((when - t0) / span * (width - 1))
+            axis[position] = "+"
+        lines.append("|" + "".join(axis) + "|")
+        for when, label in self.marks:
+            position = int((when - t0) / span * (width - 1))
+            offset = " " * (position + 1)
+            lines.append(f"{offset}^ t={when - t0:8.1f}s  {label}")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_result(cls, result: ExperimentResult) -> "ExperimentTimeline":
+        """Build the canonical 3-phase timeline from a run's result."""
+        timeline = cls()
+        timeline.mark(0.0, "hijack announced (phase-2 start)")
+        cursor = 0.0
+        if result.detection_delay is not None:
+            cursor = result.detection_delay
+            timeline.mark(cursor, f"detected by {_first_source(result)}")
+        if result.announce_delay is not None and result.detection_delay is not None:
+            cursor = result.detection_delay + result.announce_delay
+            timeline.mark(cursor, "de-aggregated prefixes announced")
+        if result.total_time is not None:
+            timeline.mark(result.total_time, "mitigation complete (all ASes legit)")
+        return timeline
+
+
+def _first_source(result: ExperimentResult) -> str:
+    if not result.per_source_delay:
+        return "?"
+    return min(result.per_source_delay.items(), key=lambda kv: kv[1])[0]
+
+
+def render_experiment_report(result: ExperimentResult, width: int = 68) -> str:
+    """The full text report for one experiment (used by the examples)."""
+    lines = [
+        "=" * width,
+        f"Hijack experiment: {result.prefix} "
+        f"(victim AS{result.victim_asn}, hijacker AS{result.hijacker_asn}, "
+        f"seed {result.seed})",
+        "=" * width,
+        f"detection delay     : {format_duration(result.detection_delay)}",
+        f"announce delay      : {format_duration(result.announce_delay)}",
+        f"completion delay    : {format_duration(result.completion_delay)}",
+        f"TOTAL hijack->fixed : {format_duration(result.total_time)}",
+        f"peak hijack adoption: {result.hijack_fraction_peak:.0%}",
+        f"residual hijacked   : {result.residual_hijack_fraction:.0%}",
+        f"strategy            : {result.strategy or '-'} "
+        f"({'full recovery' if result.mitigated else 'NOT fully mitigated'})",
+    ]
+    if result.per_source_delay:
+        lines.append("per-source detection:")
+        for source, delay in sorted(
+            result.per_source_delay.items(), key=lambda kv: kv[1]
+        ):
+            lines.append(f"  {source:<12} {format_duration(delay)}")
+    lines.append("")
+    lines.append(ExperimentTimeline.from_result(result).render(width))
+    if result.ground_truth_series:
+        lines.append("")
+        lines.append(
+            format_series(
+                result.ground_truth_series,
+                title="ground truth: fraction of ASes routing to the victim",
+                width=width - 8,
+            )
+        )
+    if result.monitor_series:
+        lines.append("")
+        lines.append(
+            format_series(
+                result.monitor_series,
+                title="ARTEMIS monitoring view: fraction of vantages legit",
+                width=width - 8,
+            )
+        )
+    return "\n".join(lines)

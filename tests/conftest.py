@@ -1,0 +1,82 @@
+"""Shared fixtures: small, fast worlds for integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.internet.network import Network, NetworkConfig
+from repro.sim.latency import Constant, Uniform
+from repro.testbed.scenario import ScenarioConfig
+from repro.topology.generator import GeneratorConfig, generate_internet
+from repro.topology.graph import ASGraph
+
+
+def tiny_graph() -> ASGraph:
+    """A hand-built 7-AS topology with known structure::
+
+            1 ===== 2          (tier-1 peering clique)
+           / \\     / \\
+          3   4   5            (tier-2 transit; 3-4 peer laterally)
+         /     \\ / \\
+        6       7   (7 buys from 4 and 5)
+    """
+    graph = ASGraph()
+    for asn, tier in [(1, 1), (2, 1), (3, 2), (4, 2), (5, 2), (6, 3), (7, 3)]:
+        graph.add_as(asn, tier=tier)
+    graph.add_peering(1, 2)
+    graph.add_customer_provider(3, 1)
+    graph.add_customer_provider(4, 1)
+    graph.add_customer_provider(5, 2)
+    graph.add_peering(3, 4)
+    graph.add_customer_provider(6, 3)
+    graph.add_customer_provider(7, 4)
+    graph.add_customer_provider(7, 5)
+    graph.validate()
+    return graph
+
+
+def fast_network_config() -> NetworkConfig:
+    """Deterministic-ish fast timing: tiny processing, no MRAI batching."""
+    return NetworkConfig(
+        processing_delay=Constant(0.05),
+        mrai=Constant(0.5),
+        session_delay_override=Constant(0.02),
+    )
+
+
+def fast_scenario(seed: int = 0, **overrides) -> ScenarioConfig:
+    """A small, churn-free scenario that runs in tens of milliseconds."""
+    defaults = dict(
+        seed=seed,
+        topology=GeneratorConfig(num_tier1=3, num_tier2=10, num_stubs=25),
+        churn=None,
+        baseline_settle=60.0,
+        churn_warmup=0.0,
+        monitors=dict(
+            num_ris_vantages=6,
+            num_bgpmon_vantages=4,
+            num_lgs=4,
+            lg_poll_interval=30.0,
+            num_batch_vantages=4,
+        ),
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+@pytest.fixture
+def graph7() -> ASGraph:
+    return tiny_graph()
+
+
+@pytest.fixture
+def net7(graph7) -> Network:
+    return Network(graph7, config=fast_network_config(), seed=42)
+
+
+@pytest.fixture
+def gen_network() -> Network:
+    graph = generate_internet(
+        GeneratorConfig(num_tier1=3, num_tier2=10, num_stubs=25), seed=5
+    )
+    return Network(graph, config=fast_network_config(), seed=5)

@@ -1,0 +1,195 @@
+"""Tests for alert lifecycle and the detection service (pure event level)."""
+
+import pytest
+
+from repro.core.alerts import AlertManager, AlertStatus, AlertType, HijackAlert
+from repro.core.config import ArtemisConfig, OwnedPrefix
+from repro.core.detection import DetectionService
+from repro.errors import ReproError
+from repro.feeds.events import FeedEvent
+from repro.net.prefix import Prefix
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+def event(prefix="10.0.0.0/23", path=(3, 2, 666), source="ris", t=10.0, kind="A",
+          vantage=3):
+    return FeedEvent(
+        source=source,
+        collector=f"{source}-c0",
+        vantage_asn=vantage,
+        kind=kind,
+        prefix=P(prefix),
+        as_path=tuple(path),
+        observed_at=t - 1.0,
+        delivered_at=t,
+    )
+
+
+def make_config(**kw):
+    defaults = dict(
+        owned=[OwnedPrefix("10.0.0.0/23", {64500}, **kw.pop("owned_kw", {}))],
+    )
+    defaults.update(kw)
+    return ArtemisConfig(**defaults)
+
+
+class TestAlertManager:
+    def test_new_incident(self):
+        manager = AlertManager()
+        alert, is_new = manager.ingest(
+            AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), P("10.0.0.0/23"), 666, event()
+        )
+        assert is_new
+        assert alert.detected_at == 10.0
+        assert alert.status is AlertStatus.ACTIVE
+
+    def test_duplicate_accumulates_evidence(self):
+        manager = AlertManager()
+        first, _ = manager.ingest(
+            AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), P("10.0.0.0/23"), 666, event(t=10)
+        )
+        second, is_new = manager.ingest(
+            AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), P("10.0.0.0/23"), 666,
+            event(t=20, source="bgpmon", vantage=4),
+        )
+        assert not is_new
+        assert second is first
+        assert len(first.evidence) == 2
+        assert first.witness_vantages == [3, 4]
+        assert first.detected_at == 10.0  # unchanged by later evidence
+
+    def test_different_offender_is_new_incident(self):
+        manager = AlertManager()
+        manager.ingest(AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), P("10.0.0.0/23"), 666, event())
+        _alert, is_new = manager.ingest(
+            AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), P("10.0.0.0/23"), 777, event()
+        )
+        assert is_new
+        assert len(manager) == 2
+
+    def test_resolve(self):
+        manager = AlertManager()
+        alert, _ = manager.ingest(
+            AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), P("10.0.0.0/23"), 666, event()
+        )
+        alert.resolve(100.0)
+        assert alert.status is AlertStatus.RESOLVED
+        assert alert.resolved_at == 100.0
+        assert manager.active == []
+        with pytest.raises(ReproError):
+            alert.resolve(200.0)
+
+    def test_refire_after_cooldown(self):
+        manager = AlertManager(cooldown=50.0)
+        alert, _ = manager.ingest(
+            AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), P("10.0.0.0/23"), 666, event(t=10)
+        )
+        alert.resolve(20.0)
+        # Within cooldown: evidence attaches to the resolved alert.
+        same, is_new = manager.ingest(
+            AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), P("10.0.0.0/23"), 666, event(t=60)
+        )
+        assert not is_new and same is alert
+        # Past cooldown: a new incident.
+        fresh, is_new = manager.ingest(
+            AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), P("10.0.0.0/23"), 666, event(t=200)
+        )
+        assert is_new and fresh is not alert
+
+    def test_first_source(self):
+        alert = HijackAlert(
+            AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), P("10.0.0.0/23"), 666,
+            event(source="periscope"),
+        )
+        assert alert.first_source == "periscope"
+
+
+class TestClassification:
+    def test_exact_origin_hijack(self):
+        service = DetectionService(make_config())
+        verdict = service.classify(event(path=(3, 2, 666)))
+        assert verdict == (AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), 666)
+
+    def test_legit_exact_announcement_ignored(self):
+        service = DetectionService(make_config())
+        assert service.classify(event(path=(3, 2, 64500))) is None
+
+    def test_subprefix_hijack(self):
+        service = DetectionService(make_config())
+        verdict = service.classify(event(prefix="10.0.0.0/24", path=(3, 666)))
+        assert verdict == (AlertType.SUB_PREFIX, P("10.0.0.0/23"), 666)
+
+    def test_own_mitigation_subprefix_ignored(self):
+        # De-aggregated /24s announced by the legit origin must not alert.
+        service = DetectionService(make_config())
+        assert service.classify(event(prefix="10.0.0.0/24", path=(3, 64500))) is None
+
+    def test_subprefix_detection_can_be_disabled(self):
+        service = DetectionService(make_config(detect_subprefix=False))
+        assert service.classify(event(prefix="10.0.0.0/24", path=(3, 666))) is None
+
+    def test_unrelated_prefix_ignored(self):
+        service = DetectionService(make_config())
+        assert service.classify(event(prefix="99.0.0.0/16", path=(3, 666))) is None
+
+    def test_path_hijack_detected_with_upstreams(self):
+        config = make_config(owned_kw={"legit_upstreams": {10, 11}})
+        service = DetectionService(config)
+        verdict = service.classify(event(path=(3, 666, 64500)))
+        assert verdict == (AlertType.PATH, P("10.0.0.0/23"), 666)
+
+    def test_path_check_passes_legit_upstream(self):
+        config = make_config(owned_kw={"legit_upstreams": {10, 11}})
+        service = DetectionService(config)
+        assert service.classify(event(path=(3, 10, 64500))) is None
+
+    def test_path_check_disabled_flag(self):
+        config = make_config(
+            owned_kw={"legit_upstreams": {10}}, detect_path=False
+        )
+        service = DetectionService(config)
+        assert service.classify(event(path=(3, 666, 64500))) is None
+
+    def test_path_check_skipped_without_upstream_config(self):
+        service = DetectionService(make_config())
+        assert service.classify(event(path=(3, 666, 64500))) is None
+
+    def test_origin_only_path_no_path_check(self):
+        config = make_config(owned_kw={"legit_upstreams": {10}})
+        service = DetectionService(config)
+        # Path of length 1: the origin announces directly to the vantage.
+        assert service.classify(event(path=(64500,))) is None
+
+
+class TestHandleEvent:
+    def test_alert_callback_fires_once_per_incident(self):
+        service = DetectionService(make_config())
+        alerts = []
+        service.on_alert(alerts.append)
+        service.handle_event(event(t=10))
+        service.handle_event(event(t=20, vantage=5))
+        assert len(alerts) == 1
+        assert len(alerts[0].evidence) == 2
+
+    def test_withdrawals_ignored(self):
+        service = DetectionService(make_config())
+        service.handle_event(event(kind="W", path=()))
+        assert len(service.alert_manager) == 0
+
+    def test_per_source_first_evidence(self):
+        service = DetectionService(make_config())
+        service.handle_event(event(t=10, source="ris"))
+        service.handle_event(event(t=12, source="ris"))
+        service.handle_event(event(t=30, source="bgpmon"))
+        alert = service.alert_manager.alerts[0]
+        delays = service.per_source_delay(alert, reference_time=5.0)
+        assert delays == {"ris": 5.0, "bgpmon": 25.0}
+
+    def test_events_checked_counter(self):
+        service = DetectionService(make_config())
+        service.handle_event(event(path=(3, 64500)))
+        service.handle_event(event(path=(3, 666)))
+        assert service.events_checked == 2

@@ -1,0 +1,61 @@
+"""Public API surface tests: everything advertised in __all__ exists and
+the errors hierarchy behaves."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+PACKAGES = [
+    "repro",
+    "repro.net",
+    "repro.sim",
+    "repro.bgp",
+    "repro.topology",
+    "repro.internet",
+    "repro.feeds",
+    "repro.sdn",
+    "repro.core",
+    "repro.testbed",
+    "repro.baselines",
+    "repro.eval",
+    "repro.viz",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_all_resolves(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} has no __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_quickstart_symbols():
+    # The README's quickstart imports must work.
+    from repro import HijackExperiment, Prefix, ScenarioConfig  # noqa: F401
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_prefix_error_is_value_error(self):
+        assert issubclass(errors.PrefixError, ValueError)
+
+    def test_catchable_as_repro_error(self):
+        from repro.net.prefix import Prefix
+
+        with pytest.raises(errors.ReproError):
+            Prefix.parse("not-a-prefix")

@@ -1,0 +1,50 @@
+"""Tests for ASN helpers."""
+
+import pytest
+
+from repro.errors import BGPError
+from repro.net.asn import ASN, MAX_ASN, format_as_path, parse_as_path
+
+
+class TestASN:
+    def test_valid(self):
+        assert ASN(64500) == 64500
+        assert ASN(0) == 0
+        assert ASN(MAX_ASN) == MAX_ASN
+
+    def test_repr(self):
+        assert repr(ASN(65000)) == "AS65000"
+
+    def test_is_int(self):
+        assert isinstance(ASN(1), int)
+        assert ASN(2) + 1 == 3
+
+    @pytest.mark.parametrize("bad", [-1, MAX_ASN + 1])
+    def test_out_of_range(self, bad):
+        with pytest.raises(BGPError):
+            ASN(bad)
+
+
+class TestAsPath:
+    def test_parse(self):
+        assert parse_as_path("3356 1299 64500") == [3356, 1299, 64500]
+
+    def test_parse_empty(self):
+        assert parse_as_path("") == []
+        assert parse_as_path("   ") == []
+
+    def test_parse_invalid_token(self):
+        with pytest.raises(BGPError):
+            parse_as_path("3356 AS1299")
+
+    def test_parse_out_of_range(self):
+        with pytest.raises(BGPError):
+            parse_as_path(str(MAX_ASN + 1))
+
+    def test_format(self):
+        assert format_as_path([3356, 1299, 64500]) == "3356 1299 64500"
+        assert format_as_path([]) == ""
+
+    def test_roundtrip(self):
+        path = [1, 2, 3, 4_200_000_000]
+        assert parse_as_path(format_as_path(path)) == path

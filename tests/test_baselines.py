@@ -1,0 +1,185 @@
+"""Tests for operator models, third-party pipelines, and baseline runs."""
+
+import pytest
+
+from repro.baselines.factories import argus_factory, phas_factory, ribdump_factory
+from repro.baselines.operator import OperatorModel
+from repro.baselines.runner import BaselineExperiment
+from repro.baselines.thirdparty import ArgusBaseline, PhasBaseline, ThirdPartyPipeline
+from repro.core.config import ArtemisConfig, OwnedPrefix
+from repro.feeds.events import FeedEvent
+from repro.net.prefix import Prefix
+from repro.sim.engine import Engine
+from repro.sim.latency import Constant
+from repro.sim.rng import SeededRNG
+
+from conftest import fast_scenario
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+class TestOperatorModel:
+    def test_default_means_are_tens_of_minutes(self):
+        operator = OperatorModel()
+        assert 10 * 60 < operator.mean_reaction < 90 * 60
+
+    def test_prompt_operator_faster(self):
+        assert OperatorModel.prompt().mean_reaction < OperatorModel().mean_reaction
+
+    def test_samples_positive(self):
+        operator = OperatorModel()
+        rng = SeededRNG(1)
+        assert operator.sample_verification(rng) > 0
+        assert operator.sample_reconfiguration(rng) > 0
+
+    def test_custom_delays(self):
+        operator = OperatorModel(
+            verification_delay=Constant(60.0),
+            reconfiguration_delay=Constant(30.0),
+        )
+        assert operator.mean_reaction == 90.0
+
+
+class FakeSource:
+    """A push source with the subscribe(callback, prefixes=) protocol."""
+
+    def __init__(self):
+        self.callbacks = []
+
+    def subscribe(self, callback, prefixes=None):
+        self.callbacks.append(callback)
+
+        class Sub:
+            active = True
+
+        return Sub()
+
+    def emit(self, event):
+        for callback in self.callbacks:
+            callback(event)
+
+
+def hijack_event(t=100.0):
+    return FeedEvent(
+        source="batch", collector="c0", vantage_asn=3, kind="A",
+        prefix=P("10.0.0.0/23"), as_path=(3, 666),
+        observed_at=t - 1, delivered_at=t,
+    )
+
+
+class TestThirdPartyPipeline:
+    def make(self, engine):
+        config = ArtemisConfig([OwnedPrefix("10.0.0.0/23", {64500})])
+        operator = OperatorModel(
+            verification_delay=Constant(120.0),
+            reconfiguration_delay=Constant(60.0),
+        )
+        return ThirdPartyPipeline(engine, config, operator=operator, rng=SeededRNG(1))
+
+    def test_full_human_pipeline_timing(self):
+        engine = Engine()
+        pipeline = self.make(engine)
+        source = FakeSource()
+        acted = []
+        pipeline.start([source], mitigate=acted.append)
+        engine.run_for(100.0)
+        source.emit(hijack_event(t=100.0))
+        engine.run()
+        assert pipeline.detected_at == 100.0
+        assert pipeline.verified_at == 220.0
+        assert pipeline.mitigation_started_at == 280.0
+        assert pipeline.reaction_delay == 180.0
+        assert len(acted) == 1
+
+    def test_single_incident_handled_once(self):
+        engine = Engine()
+        pipeline = self.make(engine)
+        source = FakeSource()
+        acted = []
+        pipeline.start([source], mitigate=acted.append)
+        engine.run_for(100.0)
+        source.emit(hijack_event(t=100.0))
+        engine.run()
+        # A different offender later: the pipeline stays focused on the first.
+        later = FeedEvent(
+            source="batch", collector="c0", vantage_asn=3, kind="A",
+            prefix=P("10.0.0.0/23"), as_path=(3, 777),
+            observed_at=engine.now, delivered_at=engine.now,
+        )
+        source.emit(later)
+        engine.run()
+        assert len(acted) == 1
+
+    def test_legit_event_no_action(self):
+        engine = Engine()
+        pipeline = self.make(engine)
+        source = FakeSource()
+        pipeline.start([source], mitigate=lambda a: None)
+        legit = FeedEvent(
+            source="batch", collector="c0", vantage_asn=3, kind="A",
+            prefix=P("10.0.0.0/23"), as_path=(3, 64500),
+            observed_at=0.0, delivered_at=0.0,
+        )
+        source.emit(legit)
+        engine.run()
+        assert pipeline.alert is None
+
+    def test_argus_uses_prompt_operator(self):
+        engine = Engine()
+        config = ArtemisConfig([OwnedPrefix("10.0.0.0/23", {64500})])
+        argus = ArgusBaseline(engine, config)
+        assert argus.operator.mean_reaction < OperatorModel().mean_reaction
+        assert argus.name == "argus"
+
+
+FAST_OPERATOR = OperatorModel(
+    verification_delay=Constant(120.0), reconfiguration_delay=Constant(60.0)
+)
+
+
+def fast_phas_factory(experiment, config):
+    pipeline = PhasBaseline(
+        experiment.network.engine, config,
+        operator=FAST_OPERATOR, rng=SeededRNG(experiment.config.seed),
+    )
+    return pipeline, [experiment.monitors.batch]
+
+
+class TestBaselineExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return BaselineExperiment(fast_scenario(seed=13), fast_phas_factory).run()
+
+    def test_detection_is_batch_bound(self, result):
+        # The 15-minute update file plus fetch delay dominates.
+        assert result.detection_delay is not None
+        assert result.detection_delay > 25.0
+
+    def test_reaction_is_operator_bound(self, result):
+        assert result.reaction_delay == pytest.approx(180.0)
+
+    def test_mitigated_eventually(self, result):
+        assert result.mitigated
+        assert result.total_time > result.detection_delay + result.reaction_delay
+
+    def test_system_name(self, result):
+        assert result.system == "phas"
+        assert result.to_dict()["system"] == "phas"
+
+    def test_factories_build(self):
+        # Each canned factory constructs against a set-up experiment.
+        from repro.testbed.scenario import HijackExperiment
+
+        experiment = HijackExperiment(fast_scenario(seed=14))
+        experiment.setup()
+        config = ArtemisConfig([OwnedPrefix("10.0.0.0/23", {experiment.victim.asn})])
+        for factory, name in [
+            (phas_factory, "phas"),
+            (ribdump_factory, "rib-dump"),
+            (argus_factory, "argus"),
+        ]:
+            pipeline, sources = factory(experiment, config)
+            assert pipeline.name == name
+            assert sources

@@ -1,0 +1,69 @@
+"""Guards the default timing calibration against silent regressions.
+
+Runs a small default-configuration suite (full churn, default feeds) and
+checks the paper-regime acceptance bands codified in
+:mod:`repro.eval.calibration`.  Marked slow-ish (~15 s) but this is the
+test that keeps the headline reproduction honest.
+"""
+
+import pytest
+
+from repro.eval.calibration import DEFAULT_BANDS, CalibrationReport, check_calibration
+from repro.eval.experiments import run_artemis_suite
+from repro.testbed.scenario import ExperimentResult, ScenarioConfig
+from repro.topology.generator import GeneratorConfig
+
+
+class TestCheckLogic:
+    def _result(self, detect=50.0, announce=15.0, complete=170.0, total=235.0,
+                mitigated=True, seed=0):
+        result = ExperimentResult()
+        result.seed = seed
+        result.detection_delay = detect
+        result.announce_delay = announce
+        result.completion_delay = complete
+        result.total_time = total
+        result.mitigated = mitigated
+        return result
+
+    def test_paper_numbers_pass(self):
+        # The paper's own means (45 / 15 / 300 / 360) sit inside the bands.
+        report = check_calibration(
+            [self._result(detect=45.0, announce=15.0, complete=300.0, total=360.0)]
+        )
+        assert report.ok, report.to_text()
+
+    def test_empty_fails(self):
+        assert not check_calibration([]).ok
+
+    def test_band_violation_detected(self):
+        report = check_calibration([self._result(detect=600.0, total=800.0)])
+        assert any("detection_delay" in v for v in report.violations)
+
+    def test_direction_violation_detected(self):
+        report = check_calibration(
+            [self._result(detect=110.0, complete=65.0, total=200.0)]
+        )
+        assert any("dominate" in v for v in report.violations)
+
+    def test_unmitigated_run_flagged(self):
+        report = check_calibration([self._result(mitigated=False, seed=7)])
+        assert any("seeds [7]" in v for v in report.violations)
+
+    def test_report_text(self):
+        report = check_calibration([self._result()])
+        text = report.to_text()
+        assert "detection_delay" in text
+
+
+@pytest.mark.slow
+class TestDefaultsAreCalibrated:
+    def test_default_scenario_within_bands(self):
+        # Small but REAL default configuration: full churn, default feeds,
+        # default MRAI — three seeds keep this under ~20 s of wall time.
+        template = ScenarioConfig(
+            topology=GeneratorConfig(num_tier1=5, num_tier2=20, num_stubs=60)
+        )
+        results = run_artemis_suite(template, seeds=[0, 1, 2])
+        report = check_calibration(results)
+        assert report.ok, report.to_text()

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface (driving main() in-process)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST_WORLD = [
+    "--tier1", "3", "--tier2", "10", "--stubs", "25", "--no-churn",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.seed == 1
+        assert args.prefix == "10.0.0.0/23"
+        assert not args.forge_origin
+
+    def test_baseline_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["baselines", "--systems", "voodoo"])
+
+
+class TestCommands:
+    def test_topology(self, tmp_path, capsys):
+        out = str(tmp_path / "topo.txt")
+        assert main(["topology", "--tier1", "3", "--tier2", "5", "--stubs", "8", out]) == 0
+        content = open(out).read()
+        assert "|-1" in content
+        assert "16 ASes" in capsys.readouterr().out
+
+    def test_experiment_json(self, tmp_path, capsys):
+        out = str(tmp_path / "result.json")
+        code = main(["experiment", "--seed", "2", "--json", out] + FAST_WORLD)
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "detection delay" in text
+        payload = json.loads(open(out).read())
+        assert payload["seed"] == 2
+        assert payload["mitigated"] is True
+
+    def test_suite(self, tmp_path, capsys):
+        out = str(tmp_path / "suite.json")
+        code = main(["suite", "--runs", "2", "--json", out] + FAST_WORLD)
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "timings over 2 experiments" in text
+        assert len(json.loads(open(out).read())) == 2
+
+    def test_demo_frames(self, tmp_path, capsys):
+        out = str(tmp_path / "frames.json")
+        code = main(
+            ["demo", "--seed", "2", "--frames", "3", "--json", out] + FAST_WORLD
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "O=legit" in text
+        payload = json.loads(open(out).read())
+        assert payload["frames"]
+
+    def test_forged_experiment(self, capsys):
+        code = main(["experiment", "--seed", "11", "--forge-origin"] + FAST_WORLD)
+        assert code == 0
+        assert "detection delay" in capsys.readouterr().out

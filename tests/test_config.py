@@ -1,0 +1,110 @@
+"""Tests for ARTEMIS configuration."""
+
+import pytest
+
+from repro.core.config import ArtemisConfig, OwnedPrefix
+from repro.errors import ConfigError
+from repro.net.prefix import Prefix
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+class TestOwnedPrefix:
+    def test_basic(self):
+        owned = OwnedPrefix("10.0.0.0/23", {64500})
+        assert owned.prefix == P("10.0.0.0/23")
+        assert owned.origin_is_legit(64500)
+        assert not owned.origin_is_legit(64501)
+        assert not owned.origin_is_legit(None)
+
+    def test_needs_origin(self):
+        with pytest.raises(ConfigError):
+            OwnedPrefix("10.0.0.0/23", set())
+
+    def test_multi_origin(self):
+        owned = OwnedPrefix("10.0.0.0/23", {1, 2})
+        assert owned.origin_is_legit(1) and owned.origin_is_legit(2)
+
+    def test_upstreams_default_permissive(self):
+        owned = OwnedPrefix("10.0.0.0/23", {1})
+        assert owned.upstream_is_legit(999)
+
+    def test_upstreams_enforced_when_set(self):
+        owned = OwnedPrefix("10.0.0.0/23", {1}, legit_upstreams={10, 11})
+        assert owned.upstream_is_legit(10)
+        assert not owned.upstream_is_legit(12)
+
+    def test_dict_roundtrip(self):
+        owned = OwnedPrefix("10.0.0.0/23", {1, 2}, legit_upstreams={3}, description="main")
+        data = owned.to_dict()
+        back = OwnedPrefix.from_dict(data)
+        assert back.prefix == owned.prefix
+        assert back.legit_origins == owned.legit_origins
+        assert back.legit_upstreams == owned.legit_upstreams
+        assert back.description == "main"
+
+    def test_from_dict_missing_key(self):
+        with pytest.raises(ConfigError):
+            OwnedPrefix.from_dict({"prefix": "10.0.0.0/23"})
+
+
+class TestArtemisConfig:
+    def make(self, **kw):
+        return ArtemisConfig([OwnedPrefix("10.0.0.0/23", {64500})], **kw)
+
+    def test_needs_owned(self):
+        with pytest.raises(ConfigError):
+            ArtemisConfig([])
+
+    def test_duplicate_owned_rejected(self):
+        with pytest.raises(ConfigError):
+            ArtemisConfig(
+                [
+                    OwnedPrefix("10.0.0.0/23", {1}),
+                    OwnedPrefix("10.0.0.0/23", {2}),
+                ]
+            )
+
+    def test_entry_for_exact_only(self):
+        config = self.make()
+        assert config.entry_for(P("10.0.0.0/23")) is not None
+        assert config.entry_for(P("10.0.0.0/24")) is None
+
+    def test_covering_entry(self):
+        config = self.make()
+        assert config.covering_entry(P("10.0.0.0/24")).prefix == P("10.0.0.0/23")
+        assert config.covering_entry(P("11.0.0.0/24")) is None
+
+    def test_covering_entry_most_specific_wins(self):
+        config = ArtemisConfig(
+            [
+                OwnedPrefix("10.0.0.0/16", {1}),
+                OwnedPrefix("10.0.0.0/23", {2}),
+            ]
+        )
+        assert config.covering_entry(P("10.0.0.0/24")).prefix == P("10.0.0.0/23")
+        assert config.covering_entry(P("10.0.9.0/24")).prefix == P("10.0.0.0/16")
+
+    def test_max_announce_length(self):
+        config = self.make()
+        assert config.max_announce_length(4) == 24
+        assert config.max_announce_length(6) == 48
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self.make(deaggregation_levels=0)
+        with pytest.raises(ConfigError):
+            self.make(alert_cooldown=-1.0)
+
+    def test_dict_roundtrip(self):
+        config = self.make(auto_mitigate=False, deaggregation_levels=2)
+        back = ArtemisConfig.from_dict(config.to_dict())
+        assert back.auto_mitigate is False
+        assert back.deaggregation_levels == 2
+        assert back.owned_prefixes == config.owned_prefixes
+
+    def test_from_dict_missing_owned(self):
+        with pytest.raises(ConfigError):
+            ArtemisConfig.from_dict({})

@@ -1,0 +1,187 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule(2.0, lambda: log.append("b"))
+        engine.schedule(1.0, lambda: log.append("a"))
+        engine.schedule(3.0, lambda: log.append("c"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = Engine()
+        log = []
+        for name in "abc":
+            engine.schedule(1.0, log.append, name)
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.5]
+        assert engine.now == 5.5
+
+    def test_args_passed(self):
+        engine = Engine()
+        result = []
+        engine.schedule(1.0, lambda a, b: result.append(a + b), 2, 3)
+        engine.run()
+        assert result == [5]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        log = []
+
+        def outer():
+            log.append(("outer", engine.now))
+            engine.schedule(1.0, lambda: log.append(("inner", engine.now)))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestCancellation:
+    def test_cancel_prevents_firing(self):
+        engine = Engine()
+        log = []
+        handle = engine.schedule(1.0, lambda: log.append("x"))
+        assert handle.cancel()
+        engine.run()
+        assert log == []
+
+    def test_cancel_after_fire_returns_false(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert handle.fired
+        assert not handle.cancel()
+
+    def test_pending_states(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        assert handle.pending
+        engine.run()
+        assert not handle.pending
+
+
+class TestRunBounds:
+    def test_run_until_leaves_future_events(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda: log.append(1))
+        engine.schedule(10.0, lambda: log.append(10))
+        engine.run(until=5.0)
+        assert log == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert log == [1, 10]
+
+    def test_run_for(self):
+        engine = Engine()
+        engine.run_for(7.0)
+        assert engine.now == 7.0
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def loop():
+            engine.schedule(0.1, loop)
+
+        engine.schedule(0.1, loop)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_reentrancy_rejected(self):
+        engine = Engine()
+
+        def reenter():
+            engine.run()
+
+        engine.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+
+class TestPeriodic:
+    def test_fires_repeatedly(self):
+        engine = Engine()
+        log = []
+        engine.schedule_periodic(1.0, lambda: log.append(engine.now))
+        engine.run(until=5.5)
+        assert log == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_first_delay_override(self):
+        engine = Engine()
+        log = []
+        engine.schedule_periodic(2.0, lambda: log.append(engine.now), first_delay=0.5)
+        engine.run(until=5.0)
+        assert log == [0.5, 2.5, 4.5]
+
+    def test_cancel_stops_series(self):
+        engine = Engine()
+        log = []
+        handle = engine.schedule_periodic(1.0, lambda: log.append(engine.now))
+
+        def stop():
+            handle.cancel()
+
+        engine.schedule(2.5, stop)
+        engine.run(until=10.0)
+        assert log == [1.0, 2.0]
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_periodic(0.0, lambda: None)
+
+
+class TestIntrospection:
+    def test_peek_time_skips_cancelled(self):
+        engine = Engine()
+        first = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        first.cancel()
+        assert engine.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert Engine().peek_time() is None
+
+    def test_pending_events(self):
+        engine = Engine()
+        a = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        a.cancel()
+        assert engine.pending_events() == 1
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False

@@ -1,0 +1,173 @@
+"""Tests for looking glasses and the Periscope poll scheduler."""
+
+import pytest
+
+from repro.errors import FeedError
+from repro.feeds.periscope import LookingGlass, PeriscopeAPI
+from repro.net.prefix import Prefix
+from repro.sim.latency import Constant
+from repro.sim.rng import SeededRNG
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+def make_lg(net, asn, min_interval=0.0, query_delay=0.2):
+    return LookingGlass(
+        f"lg-{asn}",
+        net.speaker(asn),
+        net.engine,
+        query_delay=Constant(query_delay),
+        min_query_interval=min_interval,
+        rng=SeededRNG(asn),
+    )
+
+
+class TestLookingGlass:
+    def test_query_returns_exact_route(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        lg = make_lg(net7, 3)
+        answers = []
+        lg.query(P("10.0.0.0/23"), lambda when, rows: answers.append((when, rows)))
+        net7.run_for(1.0)
+        assert len(answers) == 1
+        _when, rows = answers[0]
+        assert any(prefix == P("10.0.0.0/23") and path[-1] == 6 for prefix, path in rows)
+
+    def test_query_includes_more_specifics(self, net7):
+        net7.announce(6, "10.0.0.0/24")
+        net7.announce(6, "10.0.1.0/24")
+        net7.run_until_converged()
+        lg = make_lg(net7, 3)
+        answers = []
+        lg.query(P("10.0.0.0/23"), lambda when, rows: answers.append(rows))
+        net7.run_for(1.0)
+        prefixes = {prefix for prefix, _path in answers[0]}
+        assert prefixes == {P("10.0.0.0/24"), P("10.0.1.0/24")}
+
+    def test_query_includes_covering_route(self, net7):
+        net7.announce(6, "10.0.0.0/16")
+        net7.run_until_converged()
+        lg = make_lg(net7, 3)
+        answers = []
+        lg.query(P("10.0.0.0/23"), lambda when, rows: answers.append(rows))
+        net7.run_for(1.0)
+        assert any(prefix == P("10.0.0.0/16") for prefix, _p in answers[0])
+
+    def test_empty_answer_when_no_route(self, net7):
+        lg = make_lg(net7, 3)
+        answers = []
+        lg.query(P("10.0.0.0/23"), lambda when, rows: answers.append(rows))
+        net7.run_for(1.0)
+        assert answers == [[]]
+
+    def test_rate_limit_spaces_queries(self, net7):
+        lg = make_lg(net7, 3, min_interval=10.0)
+        times = []
+        for _ in range(3):
+            lg.query(P("10.0.0.0/23"), lambda when, rows: times.append(when))
+        net7.run_for(60.0)
+        assert len(times) == 3
+        assert times[1] - times[0] >= 9.9
+        assert times[2] - times[1] >= 9.9
+
+    def test_answer_reflects_query_time_state(self, net7):
+        # The LG snapshot happens when the query reaches the router, not
+        # when the query was issued.
+        lg = make_lg(net7, 6, query_delay=2.0)
+        answers = []
+        lg.query(P("10.0.0.0/23"), lambda when, rows: answers.append(rows))
+        net7.announce(6, "10.0.0.0/23")  # announced before snapshot time
+        net7.run_for(5.0)
+        assert answers[0]  # route visible
+
+
+class TestPeriscope:
+    def _periscope(self, net, asns, poll=20.0):
+        lgs = [make_lg(net, asn) for asn in asns]
+        return PeriscopeAPI(
+            net.engine, lgs, poll_interval=poll, rng=SeededRNG(0)
+        )
+
+    def test_poll_detects_announcement(self, net7):
+        api = self._periscope(net7, [3, 4])
+        events = []
+        api.subscribe(events.append)
+        api.watch([P("10.0.0.0/23")])
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.run_for(45.0)
+        assert events
+        assert all(e.source == "periscope" for e in events)
+        assert {e.vantage_asn for e in events} == {3, 4}
+
+    def test_unchanged_answers_deduplicated(self, net7):
+        api = self._periscope(net7, [3])
+        events = []
+        api.subscribe(events.append)
+        api.watch([P("10.0.0.0/23")])
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.run_for(200.0)  # many poll rounds
+        announcements = [e for e in events if e.is_announcement]
+        assert len(announcements) == 1  # reported once, not per poll
+
+    def test_withdraw_reported(self, net7):
+        api = self._periscope(net7, [3])
+        events = []
+        api.subscribe(events.append)
+        api.watch([P("10.0.0.0/23")])
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.run_for(45.0)
+        net7.withdraw(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.run_for(45.0)
+        assert any(not e.is_announcement for e in events)
+
+    def test_origin_change_reported(self, net7):
+        api = self._periscope(net7, [3])
+        events = []
+        api.subscribe(events.append)
+        api.watch([P("10.0.0.0/23")])
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.run_for(45.0)
+        net7.announce(7, "10.0.0.0/23")  # hijack; AS3 may or may not flip
+        net7.run_until_converged()
+        net7.run_for(45.0)
+        origins = {e.origin_as for e in events if e.is_announcement}
+        assert 6 in origins  # baseline seen
+        if net7.resolve_origin(3, "10.0.0.5") == 7:
+            assert 7 in origins  # flip seen too
+
+    def test_stop_polling(self, net7):
+        api = self._periscope(net7, [3])
+        api.subscribe(lambda e: None)
+        api.watch([P("10.0.0.0/23")])
+        net7.run_for(50.0)
+        count = api.queries_sent
+        api.stop()
+        assert not api.polling
+        net7.run_for(100.0)
+        assert api.queries_sent == count
+
+    def test_queries_per_minute(self, net7):
+        api = self._periscope(net7, [3, 4], poll=30.0)
+        assert api.queries_per_minute() == 0.0
+        api.watch([P("10.0.0.0/23"), P("99.0.0.0/16")])
+        # 2 LGs * 2 prefixes * 2 polls/minute
+        assert api.queries_per_minute() == pytest.approx(8.0)
+
+    def test_invalid_poll_interval(self, net7):
+        with pytest.raises(FeedError):
+            PeriscopeAPI(net7.engine, [], poll_interval=0.0)
+
+    def test_polls_staggered_across_lgs(self, net7):
+        api = self._periscope(net7, [3, 4, 5], poll=30.0)
+        api.watch([P("10.0.0.0/23")])
+        net7.run_for(31.0)
+        served = [lg.queries_served for lg in api.looking_glasses]
+        assert all(count >= 1 for count in served)

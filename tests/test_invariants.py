@@ -1,0 +1,147 @@
+"""System-level BGP invariants over randomized Internets.
+
+These are the properties that make the simulator trustworthy as a
+substrate: whatever the topology and announcement pattern, converged state
+must be loop-free, valley-free, policy-consistent, and deterministic.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.policy import Relationship
+from repro.internet.network import Network
+from repro.net.prefix import Prefix
+from repro.topology.generator import GeneratorConfig, generate_internet
+
+from conftest import fast_network_config
+
+
+def build_converged(seed, announcers=3):
+    """A small random Internet with a few prefixes announced and converged."""
+    graph = generate_internet(
+        GeneratorConfig(num_tier1=3, num_tier2=8, num_stubs=18), seed=seed
+    )
+    network = Network(graph, config=fast_network_config(), seed=seed)
+    asns = network.asns()
+    for index in range(announcers):
+        origin = asns[(seed + index * 7) % len(asns)]
+        network.announce(origin, f"10.{index}.0.0/16")
+        # Origins also announce a more specific, exercising the trie paths.
+        network.announce(origin, f"10.{index}.128.0/17")
+    network.run_until_converged()
+    return graph, network
+
+
+def relationship_between(graph, a, b):
+    """a's view of b."""
+    if b in graph.providers_of(a):
+        return Relationship.PROVIDER
+    if b in graph.customers_of(a):
+        return Relationship.CUSTOMER
+    if b in graph.peers_of(a):
+        return Relationship.PEER
+    return None
+
+
+def is_valley_free(graph, path):
+    """Check Gao-Rexford validity of an AS path (origin last).
+
+    Walking from the origin towards the receiver, the exporting side makes
+    a sequence of hops; once a path has gone down (provider→customer) or
+    across (peer), it may only continue down.
+    """
+    hops = list(reversed(path))  # origin → ... → sender
+    descending = False
+    for earlier, later in zip(hops, hops[1:]):
+        rel = relationship_between(graph, earlier, later)
+        if rel is None:
+            return False  # non-adjacent ASes in path
+        if rel is Relationship.PROVIDER:
+            # earlier exports to its provider: only allowed while ascending.
+            if descending:
+                return False
+        elif rel is Relationship.PEER:
+            if descending:
+                return False
+            descending = True
+        else:  # exporting to a customer: descending begins/continues
+            descending = True
+    return True
+
+
+@pytest.mark.parametrize("seed", range(8))
+class TestConvergedState:
+    def test_no_as_path_loops(self, seed):
+        _graph, network = build_converged(seed)
+        for asn in network.asns():
+            for route in network.speaker(asn).table_dump():
+                assert len(route.as_path) == len(set(route.as_path)), (
+                    f"loop in {route} at AS{asn}"
+                )
+                assert asn not in route.as_path
+
+    def test_all_paths_valley_free(self, seed):
+        graph, network = build_converged(seed)
+        for asn in network.asns():
+            for route in network.speaker(asn).table_dump():
+                if route.is_local or len(route.as_path) < 2:
+                    continue
+                assert is_valley_free(graph, route.as_path), (
+                    f"valley in {route.as_path} at AS{asn}"
+                )
+
+    def test_paths_are_graph_walks_to_receiver(self, seed):
+        graph, network = build_converged(seed)
+        for asn in network.asns():
+            for route in network.speaker(asn).table_dump():
+                if route.is_local:
+                    continue
+                # The first path element is the peer the route came from,
+                # and it must be adjacent to the receiver.
+                assert route.as_path[0] == route.peer_asn
+                assert relationship_between(graph, asn, route.as_path[0]) is not None
+
+    def test_everyone_reaches_every_prefix(self, seed):
+        _graph, network = build_converged(seed)
+        # Announced prefixes are globally reachable after convergence
+        # (customer routes export everywhere, so no policy black holes
+        # for a connected hierarchy).
+        prefixes = set()
+        for asn in network.asns():
+            prefixes.update(network.speaker(asn).originated_prefixes)
+        for prefix in prefixes:
+            for asn in network.asns():
+                assert network.speaker(asn).resolve(prefix.network) is not None
+
+    def test_local_pref_consistent_with_relationship(self, seed):
+        graph, network = build_converged(seed)
+        from repro.bgp.policy import DEFAULT_LOCAL_PREF
+
+        for asn in network.asns():
+            for route in network.speaker(asn).table_dump():
+                if route.is_local:
+                    continue
+                rel = relationship_between(graph, asn, route.peer_asn)
+                assert route.local_pref == DEFAULT_LOCAL_PREF[rel]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_state(self):
+        dumps = []
+        for _ in range(2):
+            _graph, network = build_converged(seed=3)
+            state = {
+                asn: sorted(
+                    (str(r.prefix), r.as_path)
+                    for r in network.speaker(asn).table_dump()
+                )
+                for asn in network.asns()
+            }
+            dumps.append((state, network.engine.events_processed))
+        assert dumps[0] == dumps[1]
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_any_seed_converges(self, seed):
+        _graph, network = build_converged(seed)
+        assert not network.tracker.busy

@@ -1,0 +1,63 @@
+"""IPv6 end-to-end tests: the whole stack is address-family agnostic."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.testbed.scenario import HijackExperiment
+
+from conftest import fast_scenario
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+class TestV6Propagation:
+    def test_v6_announcement_reaches_everyone(self, net7):
+        net7.announce(6, "2001:db8::/32")
+        net7.run_until_converged()
+        for asn in net7.asns():
+            assert net7.resolve_origin(asn, "2001:db8::1") == 6
+
+    def test_v6_and_v4_coexist_in_ribs(self, net7):
+        net7.announce(6, "2001:db8::/32")
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        speaker = net7.speaker(7)
+        assert speaker.resolve_origin("2001:db8::1") == 6
+        assert speaker.resolve_origin("10.0.0.1") == 6
+
+    def test_v6_longer_than_48_filtered(self, net7):
+        net7.announce(6, "2001:db8::/49")
+        net7.run_until_converged()
+        for asn in net7.asns():
+            if asn == 6:
+                continue
+            assert net7.speaker(asn).best_route(P("2001:db8::/49")) is None
+
+
+class TestV6Experiment:
+    def test_v47_hijack_fully_mitigated(self):
+        config = fast_scenario(seed=9, prefix="2001:db8::/47")
+        result = HijackExperiment(config).run()
+        assert result.alert_type == "exact-origin"
+        assert result.strategy == "deaggregate"
+        assert result.mitigated
+        assert result.residual_hijack_fraction == 0.0
+
+    def test_v48_hijack_compete_only(self):
+        config = fast_scenario(
+            seed=9, prefix="2001:db8::/48", observation_window=120.0
+        )
+        result = HijackExperiment(config).run()
+        assert result.strategy == "compete"
+        assert not result.mitigated
+        assert result.residual_hijack_fraction > 0.0
+
+    def test_v6_deaggregation_prefix_lengths(self):
+        config = fast_scenario(seed=9, prefix="2001:db8::/47")
+        experiment = HijackExperiment(config)
+        experiment.run()
+        action = experiment.artemis.actions[0]
+        assert [p.length for p in action.prefixes] == [48, 48]
+        assert all(p.version == 6 for p in action.prefixes)

@@ -1,0 +1,123 @@
+"""Tests for the incident log and the hijack-event catalog."""
+
+import json
+
+import pytest
+
+from repro.core.log import IncidentLog
+from repro.errors import ExperimentError
+from repro.eval.catalog import HijackEvent, HijackEventCatalog
+from repro.sim.rng import SeededRNG
+from repro.testbed.scenario import HijackExperiment
+
+from conftest import fast_scenario
+
+
+class TestIncidentLog:
+    @pytest.fixture(scope="class")
+    def experiment_and_log(self):
+        experiment = HijackExperiment(fast_scenario(seed=11))
+        experiment.setup()
+        log = IncidentLog(experiment.artemis)
+        result = experiment.run()
+        return experiment, log, result
+
+    def test_alert_logged(self, experiment_and_log):
+        _experiment, log, _result = experiment_and_log
+        alerts = [e for e in log.entries if e["event"] == "alert"]
+        assert len(alerts) == 1
+        entry = alerts[0]
+        assert entry["type"] == "exact-origin"
+        assert entry["owned_prefix"] == "10.0.0.0/23"
+        assert entry["first_source"] in ("ris", "bgpmon", "periscope")
+
+    def test_mitigation_logged_after_alert(self, experiment_and_log):
+        _experiment, log, _result = experiment_and_log
+        kinds = [e["event"] for e in log.entries]
+        assert kinds.index("alert") < kinds.index("mitigation-announced")
+        action_entry = next(
+            e for e in log.entries if e["event"] == "mitigation-announced"
+        )
+        assert action_entry["strategy"] == "deaggregate"
+        assert len(action_entry["prefixes"]) == 2
+
+    def test_resolution_recordable(self, experiment_and_log):
+        experiment, log, _result = experiment_and_log
+        alert = experiment.artemis.alerts[0]
+        log.record_resolution(alert)
+        assert log.entries[-1]["event"] == "resolved"
+
+    def test_for_alert_filters(self, experiment_and_log):
+        experiment, log, _result = experiment_and_log
+        alert_id = experiment.artemis.alerts[0].id
+        entries = log.for_alert(alert_id)
+        assert entries and all(e["alert_id"] == alert_id for e in entries)
+
+    def test_json_and_text_render(self, experiment_and_log):
+        _experiment, log, _result = experiment_and_log
+        payload = json.loads(log.to_json())
+        assert isinstance(payload, list) and payload
+        text = log.to_text()
+        assert "ALERT" in text and "MITIGATE" in text
+
+
+class TestHijackEvent:
+    def test_end(self):
+        event = HijackEvent(100.0, 50.0, "exact-origin")
+        assert event.end == 150.0
+
+
+class TestCatalog:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return HijackEventCatalog.generate(seed=1, horizon_days=30, events_per_day=10)
+
+    def test_event_count_near_rate(self, catalog):
+        assert 200 <= len(catalog) <= 400  # Poisson around 300
+
+    def test_sorted_by_start(self, catalog):
+        starts = [e.start for e in catalog.events]
+        assert starts == sorted(starts)
+        assert all(0 <= s < catalog.horizon for s in starts)
+
+    def test_type_mix(self, catalog):
+        counts = catalog.count_by_kind()
+        assert set(counts) == {"exact-origin", "sub-prefix", "path"}
+        assert counts["exact-origin"] > counts["path"]
+
+    def test_duration_anchor(self, catalog):
+        # >20% of events last under 10 minutes (the Argus statistic).
+        assert catalog.fraction_shorter_than(600) > 0.15
+
+    def test_coverage_monotone_in_response_time(self, catalog):
+        fast = catalog.coverage(6 * 60)
+        slow = catalog.coverage(80 * 60)
+        assert fast > slow
+        assert fast > 0.75
+
+    def test_exposure_grows_with_response_time(self, catalog):
+        assert catalog.exposure_seconds(60) < catalog.exposure_seconds(3600)
+
+    def test_concurrent_at(self, catalog):
+        mid = catalog.horizon / 2
+        assert catalog.concurrent_at(mid) >= 0
+
+    def test_deterministic(self):
+        a = HijackEventCatalog.generate(seed=5, horizon_days=5)
+        b = HijackEventCatalog.generate(seed=5, horizon_days=5)
+        assert [(e.start, e.duration, e.kind) for e in a.events] == [
+            (e.start, e.duration, e.kind) for e in b.events
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            HijackEventCatalog.generate(horizon_days=0)
+        with pytest.raises(ExperimentError):
+            HijackEventCatalog.generate(events_per_day=-1)
+        with pytest.raises(ExperimentError):
+            HijackEventCatalog.generate(type_mix={"exact-origin": 0.0})
+
+    def test_empty_catalog(self):
+        catalog = HijackEventCatalog([], horizon=1000.0)
+        assert catalog.coverage(60) == 0.0
+        assert catalog.fraction_shorter_than(60) == 0.0

@@ -1,0 +1,157 @@
+"""Integration tests for the wired Network layer."""
+
+import pytest
+
+from repro.errors import SimulationError, TopologyError
+from repro.internet.network import Network, NetworkConfig
+from repro.net.prefix import Prefix
+from repro.sim.latency import Constant
+
+from conftest import fast_network_config, tiny_graph
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+class TestBuild:
+    def test_one_speaker_per_as(self, net7):
+        assert sorted(net7.speakers) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_one_session_per_link(self, net7):
+        assert len(net7.sessions) == net7.graph.link_count()
+
+    def test_speaker_lookup_error(self, net7):
+        with pytest.raises(TopologyError):
+            net7.speaker(99)
+
+
+class TestAnnouncePropagation:
+    def test_announcement_reaches_everyone(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        for asn in net7.asns():
+            assert net7.resolve_origin(asn, "10.0.0.5") == 6
+
+    def test_origin_map_and_fraction(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        origins = net7.origin_map("10.0.0.5")
+        assert set(origins.values()) == {6}
+        assert net7.fraction_routing_to("10.0.0.5", 6) == 1.0
+        assert net7.ases_routing_to("10.0.0.5", 6) == net7.asns()
+
+    def test_withdraw_clears_routes(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.withdraw(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        assert net7.fraction_routing_to("10.0.0.5", 6) == 0.0
+
+    def test_string_and_prefix_accepted(self, net7):
+        net7.announce(6, P("10.0.0.0/24"))
+        net7.announce(6, "10.0.1.0/24")
+        net7.run_until_converged()
+        assert net7.resolve_origin(7, "10.0.1.1") == 6
+
+
+class TestHijackDynamics:
+    def test_exact_hijack_splits_internet(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.announce(7, "10.0.0.0/23")  # hijacker
+        net7.run_until_converged()
+        origins = set(net7.origin_map("10.0.0.5").values())
+        assert origins == {6, 7}
+        # The hijacker itself and its closest upstream flip.
+        assert net7.resolve_origin(7, "10.0.0.5") == 7
+
+    def test_deaggregation_reclaims_everything(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.announce(7, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.announce(6, "10.0.0.0/24")
+        net7.announce(6, "10.0.1.0/24")
+        net7.run_until_converged()
+        # Everyone except... nobody: /24s beat the hijacked /23 everywhere,
+        # including at the hijacker itself.
+        assert net7.fraction_routing_to("10.0.0.5", 6) == 1.0
+        assert net7.fraction_routing_to("10.0.1.5", 6) == 1.0
+
+    def test_slash24_deaggregation_filtered(self, graph7):
+        # With the default /24 import limit, /25s never propagate.
+        net = Network(graph7, config=fast_network_config(), seed=1)
+        net.announce(6, "10.0.0.0/24")
+        net.run_until_converged()
+        net.announce(7, "10.0.0.0/24")
+        net.run_until_converged()
+        net.announce(6, "10.0.0.0/25")
+        net.announce(6, "10.0.0.128/25")
+        net.run_until_converged()
+        hijacked = [
+            asn for asn in net.asns() if net.resolve_origin(asn, "10.0.0.5") == 7
+        ]
+        assert hijacked  # the /25s were filtered, hijack persists somewhere
+        # And no speaker except the victim has a /25 route.
+        for asn in net.asns():
+            if asn == 6:
+                continue
+            assert net.speaker(asn).best_route(P("10.0.0.0/25")) is None
+
+
+class TestAttachment:
+    def test_attach_stub(self, net7):
+        speaker = net7.attach_stub(100, [3, 5])
+        assert net7.speaker(100) is speaker
+        assert net7.graph.providers_of(100) == [3, 5]
+        net7.announce(100, "10.9.0.0/24")
+        net7.run_until_converged()
+        assert net7.fraction_routing_to("10.9.0.1", 100) == 1.0
+
+    def test_attach_existing_asn_rejected(self, net7):
+        with pytest.raises(TopologyError):
+            net7.attach_stub(6, [3])
+
+    def test_attach_needs_provider(self, net7):
+        with pytest.raises(TopologyError):
+            net7.attach_stub(100, [])
+
+    def test_monitor_session(self, net7):
+        class Sink:
+            asn = 4_199_999_999
+            received = []
+
+            def deliver(self, sender_asn, message):
+                self.received.append(message)
+
+        sink = Sink()
+        net7.add_monitor_session(3, sink)
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        prefixes = [a.prefix for m in sink.received for a in m.announcements]
+        assert P("10.0.0.0/23") in prefixes
+
+
+class TestConvergenceGuards:
+    def test_convergence_timeout_raises(self, graph7):
+        # Glacial MRAI + tiny max_time forces the timeout path.
+        config = NetworkConfig(
+            processing_delay=Constant(10.0),
+            mrai=Constant(10.0),
+            session_delay_override=Constant(5.0),
+        )
+        net = Network(graph7, config=config, seed=1)
+        net.announce(6, "10.0.0.0/23")
+        with pytest.raises(SimulationError):
+            net.run_until_converged(max_time=1.0)
+
+    def test_run_for_advances_clock(self, net7):
+        before = net7.engine.now
+        net7.run_for(12.5)
+        assert net7.engine.now == before + 12.5
+
+    def test_converged_network_is_quiet(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        assert not net7.tracker.busy

@@ -1,0 +1,117 @@
+"""Tests for relationships, Gao-Rexford export rules, and route filters."""
+
+import pytest
+
+from repro.bgp.messages import Announcement
+from repro.bgp.policy import (
+    DEFAULT_LOCAL_PREF,
+    AcceptAll,
+    FilterChain,
+    MaxLengthFilter,
+    Policy,
+    PrefixDenyFilter,
+    Relationship,
+)
+from repro.errors import BGPError
+from repro.net.prefix import Prefix
+
+
+def A(prefix, path=(1, 2)):
+    return Announcement(Prefix.parse(prefix), path)
+
+
+class TestRelationship:
+    def test_inverse(self):
+        assert Relationship.CUSTOMER.inverse() is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse() is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse() is Relationship.PEER
+        assert Relationship.MONITOR.inverse() is Relationship.MONITOR
+
+    def test_default_local_pref_order(self):
+        assert (
+            DEFAULT_LOCAL_PREF[Relationship.CUSTOMER]
+            > DEFAULT_LOCAL_PREF[Relationship.PEER]
+            > DEFAULT_LOCAL_PREF[Relationship.PROVIDER]
+        )
+
+
+class TestExportRule:
+    """The valley-free matrix: rows = learned from, cols = export to."""
+
+    def setup_method(self):
+        self.policy = Policy()
+
+    @pytest.mark.parametrize(
+        "to", [Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER]
+    )
+    def test_self_originated_exported_everywhere(self, to):
+        assert self.policy.should_export(None, to)
+
+    @pytest.mark.parametrize(
+        "to", [Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER]
+    )
+    def test_customer_routes_exported_everywhere(self, to):
+        assert self.policy.should_export(Relationship.CUSTOMER, to)
+
+    @pytest.mark.parametrize("learned", [Relationship.PEER, Relationship.PROVIDER])
+    def test_peer_and_provider_routes_only_to_customers(self, learned):
+        assert self.policy.should_export(learned, Relationship.CUSTOMER)
+        assert not self.policy.should_export(learned, Relationship.PEER)
+        assert not self.policy.should_export(learned, Relationship.PROVIDER)
+
+    @pytest.mark.parametrize(
+        "learned",
+        [None, Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER],
+    )
+    def test_monitors_receive_everything(self, learned):
+        assert self.policy.should_export(learned, Relationship.MONITOR)
+
+
+class TestFilters:
+    def test_accept_all(self):
+        assert AcceptAll().accepts(A("10.0.0.0/25"))
+
+    def test_max_length_v4(self):
+        f = MaxLengthFilter(24)
+        assert f.accepts(A("10.0.0.0/24"))
+        assert not f.accepts(A("10.0.0.0/25"))
+        assert f.accepts(A("10.0.0.0/8"))
+
+    def test_max_length_v6(self):
+        f = MaxLengthFilter(24, 48)
+        assert f.accepts(Announcement(Prefix.parse("2001:db8::/48"), (1,)))
+        assert not f.accepts(Announcement(Prefix.parse("2001:db8::/49"), (1,)))
+
+    def test_max_length_validation(self):
+        with pytest.raises(BGPError):
+            MaxLengthFilter(33)
+        with pytest.raises(BGPError):
+            MaxLengthFilter(24, 129)
+
+    def test_prefix_deny(self):
+        f = PrefixDenyFilter([Prefix.parse("10.0.0.0/8")])
+        assert not f.accepts(A("10.1.0.0/16"))
+        assert f.accepts(A("11.0.0.0/16"))
+
+    def test_filter_chain_all_must_accept(self):
+        chain = FilterChain(
+            [MaxLengthFilter(24), PrefixDenyFilter([Prefix.parse("10.0.0.0/8")])]
+        )
+        assert chain.accepts(A("11.0.0.0/24"))
+        assert not chain.accepts(A("11.0.0.0/25"))  # too long
+        assert not chain.accepts(A("10.0.0.0/24"))  # denied
+
+    def test_filter_callable(self):
+        assert MaxLengthFilter(24)(A("10.0.0.0/24"))
+
+
+class TestPolicyImport:
+    def test_import_filter_applied(self):
+        policy = Policy(import_filter=MaxLengthFilter(24))
+        assert policy.accept_import(A("10.0.0.0/24"), Relationship.PEER)
+        assert not policy.accept_import(A("10.0.0.0/25"), Relationship.PEER)
+
+    def test_local_pref_overrides(self):
+        policy = Policy(local_pref_overrides={Relationship.PEER: 250})
+        assert policy.import_local_pref(Relationship.PEER) == 250
+        assert policy.import_local_pref(Relationship.CUSTOMER) == 300

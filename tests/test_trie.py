@@ -1,0 +1,192 @@
+"""Unit and property tests for the radix trie."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.prefix import Address, Prefix
+from repro.net.trie import PrefixTrie
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+class TestBasicOps:
+    def test_insert_get(self):
+        trie = PrefixTrie()
+        trie[P("10.0.0.0/24")] = "a"
+        assert trie[P("10.0.0.0/24")] == "a"
+        assert trie.get(P("10.0.0.0/24")) == "a"
+
+    def test_get_default(self):
+        trie = PrefixTrie()
+        assert trie.get(P("10.0.0.0/24"), "missing") == "missing"
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            PrefixTrie()[P("10.0.0.0/24")]
+
+    def test_len_and_bool(self):
+        trie = PrefixTrie()
+        assert not trie and len(trie) == 0
+        trie[P("10.0.0.0/24")] = 1
+        trie[P("10.0.0.0/23")] = 2
+        assert trie and len(trie) == 2
+
+    def test_replace_does_not_grow(self):
+        trie = PrefixTrie()
+        trie[P("10.0.0.0/24")] = 1
+        trie[P("10.0.0.0/24")] = 2
+        assert len(trie) == 1
+        assert trie[P("10.0.0.0/24")] == 2
+
+    def test_contains(self):
+        trie = PrefixTrie()
+        trie[P("10.0.0.0/23")] = 1
+        assert P("10.0.0.0/23") in trie
+        # Interior node on the path is not a stored key.
+        assert P("10.0.0.0/22") not in trie
+        assert P("10.0.0.0/24") not in trie
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie[P("10.0.0.0/24")] = 1
+        assert trie.remove(P("10.0.0.0/24")) == 1
+        assert len(trie) == 0
+        with pytest.raises(KeyError):
+            trie.remove(P("10.0.0.0/24"))
+
+    def test_remove_keeps_other_keys(self):
+        trie = PrefixTrie()
+        trie[P("10.0.0.0/24")] = 1
+        trie[P("10.0.0.0/23")] = 2
+        del trie[P("10.0.0.0/24")]
+        assert trie[P("10.0.0.0/23")] == 2
+        assert len(trie) == 1
+
+    def test_root_key(self):
+        trie = PrefixTrie()
+        trie[P("0.0.0.0/0")] = "default"
+        assert trie[P("0.0.0.0/0")] == "default"
+        assert trie.longest_match("203.0.113.5")[1] == "default"
+
+    def test_v4_v6_coexist(self):
+        trie = PrefixTrie()
+        trie[P("0.0.0.0/0")] = "v4"
+        trie[P("::/0")] = "v6"
+        assert trie.longest_match("10.0.0.1")[1] == "v4"
+        assert trie.longest_match(Address.parse("::1"))[1] == "v6"
+        assert len(trie) == 2
+
+
+class TestLongestMatch:
+    def test_prefers_more_specific(self):
+        trie = PrefixTrie()
+        trie[P("10.0.0.0/23")] = "covering"
+        trie[P("10.0.0.0/24")] = "specific"
+        assert trie.longest_match("10.0.0.1") == (P("10.0.0.0/24"), "specific")
+        assert trie.longest_match("10.0.1.1") == (P("10.0.0.0/23"), "covering")
+
+    def test_none_when_uncovered(self):
+        trie = PrefixTrie()
+        trie[P("10.0.0.0/24")] = 1
+        assert trie.longest_match("11.0.0.1") is None
+
+    def test_prefix_target_not_matched_by_longer(self):
+        trie = PrefixTrie()
+        trie[P("10.0.0.0/24")] = 1
+        # A /23 query must not match the stored /24 (it does not cover it).
+        assert trie.longest_match(P("10.0.0.0/23")) is None
+
+    def test_prefix_target_matched_by_equal_or_shorter(self):
+        trie = PrefixTrie()
+        trie[P("10.0.0.0/23")] = "x"
+        assert trie.longest_match(P("10.0.0.0/23"))[0] == P("10.0.0.0/23")
+        assert trie.longest_match(P("10.0.0.0/24"))[0] == P("10.0.0.0/23")
+
+    def test_string_targets(self):
+        trie = PrefixTrie()
+        trie[P("10.0.0.0/23")] = "x"
+        assert trie.longest_match("10.0.0.0/24")[1] == "x"
+        assert trie.longest_match("10.0.0.7")[1] == "x"
+
+
+class TestSubtreeQueries:
+    def setup_method(self):
+        self.trie = PrefixTrie()
+        for text in ["10.0.0.0/22", "10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "11.0.0.0/8"]:
+            self.trie[P(text)] = text
+
+    def test_covered(self):
+        inside = [p for p, _v in self.trie.covered(P("10.0.0.0/23"))]
+        assert inside == [P("10.0.0.0/24"), P("10.0.1.0/24")]
+
+    def test_covered_includes_exact(self):
+        inside = [p for p, _v in self.trie.covered(P("10.0.0.0/22"))]
+        assert P("10.0.0.0/22") in inside and len(inside) == 4
+
+    def test_covering(self):
+        above = [p for p, _v in self.trie.covering(P("10.0.0.0/24"))]
+        assert above == [P("10.0.0.0/22"), P("10.0.0.0/24")]
+
+    def test_covering_address(self):
+        above = [p for p, _v in self.trie.covering(Address.parse("10.0.2.9"))]
+        assert above == [P("10.0.0.0/22"), P("10.0.2.0/24")]
+
+    def test_items_sorted(self):
+        keys = list(self.trie.keys())
+        assert keys == sorted(keys)
+        assert len(keys) == 5
+
+    def test_values_match_items(self):
+        assert list(self.trie.values()) == [str(p) for p in self.trie.keys()]
+
+
+# --------------------------------------------------------------- properties
+
+@st.composite
+def v4_prefix(draw):
+    value = draw(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    length = draw(st.integers(min_value=0, max_value=32))
+    return Prefix(value, length, 4)
+
+
+@given(st.lists(v4_prefix(), min_size=1, max_size=30), st.integers(0, (1 << 32) - 1))
+def test_longest_match_equals_bruteforce(prefixes, probe_value):
+    trie = PrefixTrie()
+    for index, prefix in enumerate(prefixes):
+        trie[prefix] = index
+    probe = Address(probe_value, 4)
+    expected = None
+    for prefix in prefixes:
+        if prefix.contains_address(probe):
+            if expected is None or prefix.length > expected.length:
+                expected = prefix
+    match = trie.longest_match(probe)
+    if expected is None:
+        assert match is None
+    else:
+        assert match[0] == expected
+
+
+@given(st.lists(v4_prefix(), min_size=1, max_size=30))
+def test_insert_remove_leaves_trie_empty(prefixes):
+    trie = PrefixTrie()
+    unique = list(dict.fromkeys(prefixes))
+    for prefix in unique:
+        trie[prefix] = str(prefix)
+    assert len(trie) == len(unique)
+    for prefix in unique:
+        assert trie.remove(prefix) == str(prefix)
+    assert len(trie) == 0
+    assert list(trie.items()) == []
+
+
+@given(st.lists(v4_prefix(), min_size=1, max_size=30))
+def test_iteration_is_sorted_and_complete(prefixes):
+    trie = PrefixTrie()
+    for prefix in prefixes:
+        trie[prefix] = 0
+    keys = list(trie.keys())
+    assert keys == sorted(keys)
+    assert set(keys) == set(prefixes)

@@ -1,0 +1,144 @@
+"""Tests for the geographic map and timeline renderers."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.net.prefix import Prefix
+from repro.testbed.scenario import ExperimentResult
+from repro.topology.geo import region_by_name
+from repro.topology.graph import ASGraph
+from repro.viz.geomap import GeoMapRenderer
+from repro.viz.timeline import (
+    ExperimentTimeline,
+    render_experiment_report,
+)
+
+
+@pytest.fixture
+def geo_graph():
+    graph = ASGraph()
+    graph.add_as(1, tier=1, region=region_by_name("amsterdam"))
+    graph.add_as(2, tier=2, region=region_by_name("tokyo"))
+    graph.add_as(3, tier=2, region=region_by_name("new-york"))
+    graph.add_as(4, tier=3)  # no region
+    graph.add_peering(1, 2)
+    graph.add_customer_provider(3, 1)
+    graph.add_customer_provider(4, 1)
+    return graph
+
+
+class TestGeoMap:
+    def test_frame_marks_states(self, geo_graph):
+        renderer = GeoMapRenderer(geo_graph, legit_origins={100})
+        frame = renderer.ascii_frame({1: 100, 2: 666, 3: None})
+        assert "O=legit(1)" in frame
+        assert "X=hijacked(1)" in frame
+        assert ".=unknown(1)" in frame
+        assert "O" in frame and "X" in frame
+
+    def test_vantage_without_region_skipped(self, geo_graph):
+        renderer = GeoMapRenderer(geo_graph, legit_origins={100})
+        states = renderer.vantage_states({4: 100})
+        assert states == []
+
+    def test_unknown_asn_skipped(self, geo_graph):
+        renderer = GeoMapRenderer(geo_graph, legit_origins={100})
+        assert renderer.vantage_states({999: 100}) == []
+
+    def test_hijacked_wins_cell_collisions(self, geo_graph):
+        # Two vantages in the same city, one hijacked: X must show.
+        graph = geo_graph
+        graph.add_as(5, tier=2, region=region_by_name("amsterdam"))
+        graph.add_customer_provider(5, 1)
+        renderer = GeoMapRenderer(graph, legit_origins={100})
+        frame = renderer.ascii_frame({1: 100, 5: 666})
+        grid_lines = [l for l in frame.splitlines() if l.startswith("|")]
+        assert any("X" in line for line in grid_lines)
+        assert not any("O" in line for line in grid_lines)
+
+    def test_canvas_validation(self, geo_graph):
+        with pytest.raises(ReproError):
+            GeoMapRenderer(geo_graph, {1}, width=5, height=2)
+
+    def test_json_export(self, geo_graph):
+        renderer = GeoMapRenderer(geo_graph, legit_origins={100})
+        frames = [(0.0, {1: 100}), (10.0, {1: 666})]
+        payload = json.loads(renderer.to_json(frames))
+        assert payload["legit_origins"] == [100]
+        assert len(payload["frames"]) == 2
+        assert payload["frames"][0]["vantages"][0]["state"] == "legit"
+        assert payload["frames"][1]["vantages"][0]["state"] == "hijacked"
+
+    def test_frames_from_transitions(self, geo_graph):
+        renderer = GeoMapRenderer(geo_graph, legit_origins={100})
+        prefix = Prefix.parse("10.0.0.0/23")
+        transitions = [
+            (0.0, 1, prefix, 100),
+            (5.0, 2, prefix, 100),
+            (10.0, 2, prefix, 666),
+            (20.0, 2, prefix, 100),
+        ]
+        frames = renderer.frames_from_transitions(transitions, max_frames=3)
+        assert len(frames) <= 3
+        assert frames[-1][0] == 20.0
+        assert frames[-1][1][2] == 100
+
+    def test_frames_from_empty_transitions(self, geo_graph):
+        renderer = GeoMapRenderer(geo_graph, legit_origins={100})
+        assert renderer.frames_from_transitions([]) == [(0.0, {})]
+
+
+class TestTimeline:
+    def test_marks_render(self):
+        timeline = ExperimentTimeline()
+        timeline.mark(0.0, "start")
+        timeline.mark(30.0, "detected")
+        timeline.mark(200.0, "done")
+        text = timeline.render(width=40)
+        assert "start" in text and "detected" in text and "done" in text
+
+    def test_out_of_order_rejected(self):
+        timeline = ExperimentTimeline()
+        timeline.mark(10.0, "later")
+        with pytest.raises(ReproError):
+            timeline.mark(5.0, "earlier")
+
+    def test_empty(self):
+        assert "empty" in ExperimentTimeline().render()
+
+    def _result(self):
+        result = ExperimentResult()
+        result.prefix = Prefix.parse("10.0.0.0/23")
+        result.victim_asn = 61000
+        result.hijacker_asn = 61001
+        result.detection_delay = 40.0
+        result.announce_delay = 15.0
+        result.completion_delay = 150.0
+        result.total_time = 205.0
+        result.mitigated = True
+        result.strategy = "deaggregate"
+        result.hijack_fraction_peak = 0.4
+        result.per_source_delay = {"ris": 40.0, "bgpmon": 70.0}
+        result.ground_truth_series = [(0.0, 1.0), (30.0, 0.6), (205.0, 1.0)]
+        result.monitor_series = [(10.0, 1.0), (45.0, 0.5), (200.0, 1.0)]
+        return result
+
+    def test_from_result(self):
+        timeline = ExperimentTimeline.from_result(self._result())
+        assert len(timeline.marks) == 4
+        assert timeline.marks[-1][0] == 205.0
+
+    def test_report_contains_key_facts(self):
+        report = render_experiment_report(self._result())
+        assert "40s" in report
+        assert "deaggregate" in report
+        assert "ris" in report
+        assert "ground truth" in report
+
+    def test_report_handles_undetected_run(self):
+        result = ExperimentResult()
+        result.prefix = Prefix.parse("10.0.0.0/23")
+        report = render_experiment_report(result)
+        assert "NOT fully mitigated" in report

@@ -1,0 +1,68 @@
+"""Tests for the self-contained HTML visualisation export."""
+
+import json
+import re
+
+import pytest
+
+from repro.topology.geo import region_by_name
+from repro.topology.graph import ASGraph
+from repro.viz.geomap import GeoMapRenderer
+from repro.viz.html import render_html, save_html
+
+
+@pytest.fixture
+def renderer():
+    graph = ASGraph()
+    graph.add_as(1, tier=1, region=region_by_name("amsterdam"))
+    graph.add_as(2, tier=2, region=region_by_name("tokyo"))
+    graph.add_customer_provider(2, 1)
+    return GeoMapRenderer(graph, legit_origins={100})
+
+
+FRAMES = [
+    (0.0, {1: 100, 2: 100}),
+    (30.0, {1: 100, 2: 666}),
+    (90.0, {1: 100, 2: 100}),
+]
+
+
+class TestRenderHtml:
+    def test_is_complete_document(self, renderer):
+        html = render_html(renderer, FRAMES)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "</html>" in html
+        assert "<script>" in html
+
+    def test_embeds_frame_data(self, renderer):
+        html = render_html(renderer, FRAMES)
+        match = re.search(r"const DATA = (\{.*?\});\n", html, re.S)
+        assert match, "frame payload missing"
+        payload = json.loads(match.group(1))
+        assert payload["legit_origins"] == [100]
+        assert len(payload["frames"]) == 3
+        states = [v["state"] for v in payload["frames"][1]["vantages"]]
+        assert "hijacked" in states
+
+    def test_no_external_references(self, renderer):
+        html = render_html(renderer, FRAMES)
+        assert "http://" not in html.replace("http://www.w3.org/2000/svg", "")
+        assert "https://" not in html
+
+    def test_title_and_dimensions(self, renderer):
+        html = render_html(renderer, FRAMES, title="My Hijack", width=500, height=250)
+        assert "<title>My Hijack</title>" in html
+        assert 'width="500"' in html and 'height="250"' in html
+
+    def test_slider_bounds(self, renderer):
+        html = render_html(renderer, FRAMES)
+        assert 'max="2"' in html
+
+    def test_single_frame(self, renderer):
+        html = render_html(renderer, FRAMES[:1])
+        assert 'max="0"' in html
+
+    def test_save(self, renderer, tmp_path):
+        path = str(tmp_path / "demo.html")
+        save_html(path, renderer, FRAMES)
+        assert open(path).read().startswith("<!DOCTYPE html>")
