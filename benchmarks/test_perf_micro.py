@@ -100,3 +100,133 @@ def test_perf_full_experiment_small(benchmark):
         assert result.mitigated
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+# --------------------------------------------------------- feed fan-out paths
+
+
+class _FakeCollector:
+    name = "bench-rc"
+
+
+def _watch_prefix(i):
+    return Prefix.parse(f"10.{i >> 8}.{i & 255}.0/24")
+
+
+def _churn_stream(num_subscriptions):
+    from repro.feeds.stream import StreamingService
+    from repro.sim.latency import Constant
+
+    service = StreamingService(Engine(), latency=Constant(1.0), rng=SeededRNG(0))
+    for i in range(num_subscriptions):
+        service.subscribe(lambda e: None, prefixes=[_watch_prefix(i)])
+    return service
+
+
+def test_perf_interest_lookup_many_subscriptions(benchmark):
+    """One interest lookup against 2048 prefix-filtered subscriptions."""
+    from repro.feeds.interest import InterestIndex
+
+    index = InterestIndex()
+    for i in range(2048):
+        index.add(lambda e: None, prefixes=[_watch_prefix(i)])
+    churn = Prefix.parse("99.1.2.0/24")
+    benchmark(index.lookup, churn)
+
+
+def test_perf_stream_fanout_under_churn(benchmark):
+    """Per-observation stream cost with 512 uninterested subscribers."""
+    service = _churn_stream(512)
+    churn = Prefix.parse("99.1.2.0/24")
+    benchmark(
+        service._on_observation,
+        _FakeCollector(), 3, "A", churn, (3, 2, 1), 0.0,
+    )
+
+
+def test_fanout_cost_independent_of_subscription_count():
+    """Scaling guard: 128x more subscriptions must not mean 128x slower.
+
+    With the old linear scan, per-observation cost grew with the number of
+    subscriptions; the trie-backed index bounds it by the prefix length.
+    The 10x bound is deliberately loose — it only has to rule out the
+    linear regime, not measure constants.
+    """
+    import time
+
+    churn = Prefix.parse("99.1.2.0/24")
+    rounds = 2_000
+
+    def cost(num_subscriptions):
+        service = _churn_stream(num_subscriptions)
+        collector = _FakeCollector()
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            for _ in range(rounds):
+                service._on_observation(collector, 3, "A", churn, (3, 2, 1), 0.0)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    small, large = cost(16), cost(2048)
+    assert large < small * 10, (
+        f"fan-out scaled with subscription count: {small:.6f}s @16 vs "
+        f"{large:.6f}s @2048"
+    )
+
+
+# --------------------------------------------------- incremental origin polls
+
+
+def _converged_network(num_stubs):
+    from repro.internet.network import Network, NetworkConfig
+    from repro.sim.latency import Constant
+    from repro.topology.generator import GeneratorConfig, generate_internet
+
+    graph = generate_internet(
+        GeneratorConfig(num_tier1=3, num_tier2=10, num_stubs=num_stubs), seed=7
+    )
+    config = NetworkConfig(
+        processing_delay=Constant(0.05),
+        mrai=Constant(0.5),
+        session_delay_override=Constant(0.02),
+    )
+    net = Network(graph, config=config, seed=7)
+    victim = max(net.asns())
+    net.announce(victim, "10.0.0.0/23")
+    net.run_until_converged()
+    net.origin_map("10.0.0.5")  # prime the cache
+    return net
+
+
+def test_perf_origin_map_repeated_polls(benchmark):
+    """Steady-state origin_map poll on a converged ~40-AS network."""
+    net = _converged_network(num_stubs=25)
+    benchmark(net.origin_map, "10.0.0.5")
+    assert net.origin_cache_stats["hits"] > 0
+
+
+def test_origin_poll_cost_independent_of_topology_size():
+    """Scaling guard: between route changes, fraction polls must not walk
+    the topology.  ``fraction_routing_to`` is a dict read against the
+    incremental cache, so a ~4x larger network must not cost ~4x more;
+    the old implementation re-resolved every speaker per poll."""
+    import time
+
+    rounds = 20_000
+
+    def cost(net):
+        victim = max(net.asns())
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            for _ in range(rounds):
+                net.fraction_routing_to("10.0.0.5", victim)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    small, large = cost(_converged_network(12)), cost(_converged_network(107))
+    assert large < small * 10, (
+        f"origin polling scaled with topology size: {small:.6f}s @25 ASes vs "
+        f"{large:.6f}s @120 ASes"
+    )

@@ -42,7 +42,13 @@ class AlertStatus(enum.Enum):
 
 
 class HijackAlert:
-    """One detected hijacking incident."""
+    """One detected hijacking incident.
+
+    Alert IDs are assigned by the owning :class:`AlertManager`, restarting
+    at 1 per manager, so identically-seeded experiments sharing a process
+    get identical IDs.  The class-level counter only backs directly
+    constructed alerts (ad-hoc use in tests/tools).
+    """
 
     _ids = itertools.count(1)
 
@@ -53,8 +59,9 @@ class HijackAlert:
         announced_prefix: Prefix,
         offender_asn: Optional[int],
         first_event: FeedEvent,
+        alert_id: Optional[int] = None,
     ):
-        self.id = next(HijackAlert._ids)
+        self.id = int(alert_id) if alert_id is not None else next(HijackAlert._ids)
         self.type = alert_type
         #: The configured prefix this incident is against.
         self.owned_prefix = owned_prefix
@@ -107,6 +114,8 @@ class AlertManager:
         self.cooldown = float(cooldown)
         self._by_key: Dict[Tuple, HijackAlert] = {}
         self.alerts: List[HijackAlert] = []
+        #: Per-manager ID counter — deterministic across repeated runs.
+        self._next_id = 1
 
     def ingest(
         self,
@@ -129,8 +138,14 @@ class AlertManager:
                 existing.add_evidence(event)
                 return existing, False
         alert = HijackAlert(
-            alert_type, owned_prefix, announced_prefix, offender_asn, event
+            alert_type,
+            owned_prefix,
+            announced_prefix,
+            offender_asn,
+            event,
+            alert_id=self._next_id,
         )
+        self._next_id += 1
         self._by_key[key] = alert
         self.alerts.append(alert)
         return alert, True

@@ -35,9 +35,12 @@ class DetectionService:
         self.alert_manager = AlertManager(cooldown=config.alert_cooldown)
         self._callbacks: List[AlertCallback] = []
         self.events_checked = 0
-        #: Per (incident key, source): first evidence delivery time — the
-        #: raw material for the per-source delay comparison (E2).
-        self.first_evidence: Dict[Tuple, Dict[str, float]] = {}
+        #: Per (alert id, source): first evidence delivery time — the raw
+        #: material for the per-source delay comparison (E2).  Keyed by the
+        #: alert's unique id, not its dedup key: the same incident pattern
+        #: can re-fire as a *new* alert after resolve + cooldown, and the
+        #: fresh incident must not inherit the old one's evidence times.
+        self.first_evidence: Dict[int, Dict[str, float]] = {}
         self.started = False
         self._subscriptions = []
 
@@ -82,7 +85,7 @@ class DetectionService:
         alert, is_new = self.alert_manager.ingest(
             alert_type, owned_prefix, event.prefix, offender, event
         )
-        per_source = self.first_evidence.setdefault(alert.key, {})
+        per_source = self.first_evidence.setdefault(alert.id, {})
         if event.source not in per_source:
             per_source[event.source] = event.delivered_at
         if is_new:
@@ -133,7 +136,7 @@ class DetectionService:
         ``reference_time`` is the ground-truth incident start (the hijack
         announcement time); sources that never reported it are absent.
         """
-        per_source = self.first_evidence.get(alert.key, {})
+        per_source = self.first_evidence.get(alert.id, {})
         return {
             source: delivered - reference_time
             for source, delivered in sorted(per_source.items())

@@ -137,13 +137,18 @@ class MonitoringService:
     # ------------------------------------------------------------------ views
 
     def origin_by_vantage(self, owned_prefix: Prefix) -> Dict[int, Optional[int]]:
-        """Current representative origin per vantage for ``owned_prefix``."""
+        """Current representative origin per vantage for ``owned_prefix``.
+
+        Served from the state ``handle_event`` maintains incrementally, so
+        repeated polling (the F1 visualisation loop) never re-walks the
+        per-vantage route tables.
+        """
         entry = self.config.entry_for(owned_prefix)
         if entry is None:
             return {}
         return {
-            asn: self._representative_origin(state, entry)
-            for asn, state in sorted(self.vantages.items())
+            asn: self._last_effective.get((asn, owned_prefix))
+            for asn in sorted(self.vantages)
         }
 
     def fraction_legitimate(self, owned_prefix: Prefix) -> float:

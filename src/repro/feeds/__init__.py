@@ -23,6 +23,7 @@ from repro.feeds.collector import RouteCollector
 from repro.feeds.deploy import MonitorDeployment, deploy_monitors
 from repro.feeds.dumpfile import FeedRecorder, read_events, write_events
 from repro.feeds.events import FeedEvent
+from repro.feeds.interest import InterestIndex, Subscription
 from repro.feeds.periscope import LookingGlass, PeriscopeAPI
 from repro.feeds.ris import RISLiveStream
 from repro.feeds.stream import StreamingService
@@ -32,12 +33,14 @@ __all__ = [
     "BatchArchive",
     "FeedEvent",
     "FeedRecorder",
+    "InterestIndex",
     "LookingGlass",
     "MonitorDeployment",
     "PeriscopeAPI",
     "RISLiveStream",
     "RouteCollector",
     "StreamingService",
+    "Subscription",
     "deploy_monitors",
     "read_events",
     "write_events",

@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.errors import FeedError
 from repro.feeds.collector import RouteCollector
 from repro.feeds.events import FeedEvent
-from repro.feeds.stream import FeedCallback, _Subscription
+from repro.feeds.interest import FeedCallback, InterestIndex, Subscription
 from repro.net.prefix import Prefix
 from repro.sim.engine import Engine
 from repro.sim.latency import Constant, Delay, make_delay
@@ -54,7 +54,7 @@ class BatchArchive:
         self.rng = rng or SeededRNG(0)
         self.name = name
         self.collectors: List[RouteCollector] = []
-        self._subscriptions: List[_Subscription] = []
+        self._interest = InterestIndex()
         self._buffer: List[Tuple[str, int, str, Prefix, Tuple[int, ...], float]] = []
         self._started = False
         self.publish_ribs = publish_ribs
@@ -63,6 +63,7 @@ class BatchArchive:
             raise FeedError(f"archive {name} would publish nothing")
         self.files_published = 0
         self.events_delivered = 0
+        self.events_filtered = 0
 
     def attach_collector(self, collector: RouteCollector) -> None:
         if collector in self.collectors:
@@ -74,15 +75,17 @@ class BatchArchive:
         self,
         callback: FeedCallback,
         prefixes: Optional[Sequence[Prefix]] = None,
-    ) -> _Subscription:
+    ) -> Subscription:
         """Receive archived events at file-publication time.
 
         Publication timers start with the first subscription.
         """
-        subscription = _Subscription(callback, prefixes)
-        self._subscriptions.append(subscription)
+        subscription = self._interest.add(callback, prefixes)
         self._start()
         return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        self._interest.discard(subscription)
 
     def _start(self) -> None:
         if self._started:
@@ -114,15 +117,13 @@ class BatchArchive:
         self,
         rows: List[Tuple[str, int, str, Prefix, Tuple[int, ...], float]],
     ) -> None:
-        if not rows or not self._subscriptions:
+        if not rows or not self._interest:
             return
         # Keep only rows at least one subscriber asked for; churn noise would
         # otherwise allocate events nobody receives.
-        rows = [
-            row
-            for row in rows
-            if any(s.active and s.matches(row[3]) for s in self._subscriptions)
-        ]
+        kept = [row for row in rows if self._interest.any_match(row[3])]
+        self.events_filtered += len(rows) - len(kept)
+        rows = kept
         if not rows:
             return
         delivered_at = self.engine.now + self.fetch_delay.sample(self.rng)
@@ -139,10 +140,9 @@ class BatchArchive:
                     observed_at=observed,
                     delivered_at=delivered_at,
                 )
-                for subscription in list(self._subscriptions):
-                    if subscription.active and subscription.matches(prefix):
-                        self.events_delivered += 1
-                        subscription.callback(event)
+                for subscription in self._interest.lookup(prefix):
+                    self.events_delivered += 1
+                    subscription.callback(event)
 
         self.engine.schedule_at(delivered_at, deliver)
 
@@ -182,5 +182,6 @@ class BatchArchive:
     def __repr__(self) -> str:
         return (
             f"<BatchArchive {self.name} every {self.update_interval:.0f}s "
-            f"buffered={len(self._buffer)}>"
+            f"buffered={len(self._buffer)} delivered={self.events_delivered} "
+            f"filtered={self.events_filtered}>"
         )

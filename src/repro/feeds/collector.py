@@ -13,10 +13,11 @@ terminate sessions without colliding with topology ASes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bgp.messages import UpdateMessage
 from repro.errors import FeedError
+from repro.feeds.interest import InterestIndex, Subscription
 from repro.net.prefix import Prefix
 from repro.sim.engine import Engine
 
@@ -43,16 +44,29 @@ class RouteCollector:
 
             asn = COLLECTOR_ASN_BASE + derive_seed(0, "collector", name) % 90_000_000
         self.asn = int(asn)
-        self._observers: List[ObservationCallback] = []
+        self._interest = InterestIndex()
         #: Current table per (vantage, prefix) — the collector's own RIB view,
         #: used for RIB dumps by the batch archive.
         self.table: Dict[Tuple[int, Prefix], Tuple[int, ...]] = {}
         self.vantage_asns: List[int] = []
         self.observations = 0
+        self.observations_filtered = 0
 
-    def subscribe(self, callback: ObservationCallback) -> None:
-        """Register a consumer for raw (zero-added-latency) observations."""
-        self._observers.append(callback)
+    def subscribe(
+        self,
+        callback: ObservationCallback,
+        prefixes: Optional[Sequence[Prefix]] = None,
+    ) -> Subscription:
+        """Register a consumer for raw (zero-added-latency) observations.
+
+        ``prefixes`` optionally filters the feed to overlapping prefixes —
+        same semantics as the downstream services, answered through the
+        shared trie-backed interest index.
+        """
+        return self._interest.add(callback, prefixes)
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        self._interest.discard(subscription)
 
     def register_vantage(self, vantage_asn: int) -> None:
         """Record that ``vantage_asn`` feeds this collector (bookkeeping)."""
@@ -83,8 +97,12 @@ class RouteCollector:
         when: float,
     ) -> None:
         self.observations += 1
-        for callback in self._observers:
-            callback(self, vantage_asn, kind, prefix, as_path, when)
+        matched = self._interest.lookup(prefix)
+        if not matched:
+            self.observations_filtered += 1
+            return
+        for subscription in matched:
+            subscription.callback(self, vantage_asn, kind, prefix, as_path, when)
 
     def rib_snapshot(self) -> List[Tuple[int, Prefix, Tuple[int, ...]]]:
         """Current table as (vantage, prefix, path) rows, deterministic order."""
@@ -96,5 +114,5 @@ class RouteCollector:
     def __repr__(self) -> str:
         return (
             f"<RouteCollector {self.name} vantages={len(self.vantage_asns)} "
-            f"obs={self.observations}>"
+            f"obs={self.observations} filtered={self.observations_filtered}>"
         )

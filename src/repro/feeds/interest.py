@@ -1,0 +1,171 @@
+"""Trie-indexed subscription interest matching.
+
+Every feed fan-out path (streams, Periscope, batch archives, raw
+collectors) answers the same question for each observation: *which
+subscribers asked for this prefix?*  Answering it by scanning the
+subscription list is O(subscriptions × watched-prefixes) per observation —
+ruinous under background churn, where almost every observation matches
+nobody.  :class:`InterestIndex` stores each subscription's filter prefixes
+in a :class:`~repro.net.trie.PrefixTrie`, so a lookup walks at most
+``prefix.length`` trie nodes regardless of how many subscriptions exist:
+the subscriptions overlapping an observed prefix are exactly those whose
+filter prefix either *covers* it (an ancestor on the trie path) or is
+*covered* by it (the stored subtree under it).
+
+The index preserves the list semantics the services had before it:
+subscriptions receive events in subscription order, a subscription whose
+``active`` flag was cleared is skipped (and dropped lazily), and a
+``prefixes=None`` subscription matches everything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.feeds.events import FeedEvent
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+FeedCallback = Callable[[FeedEvent], None]
+
+
+class Subscription:
+    """One consumer's registration: a callback plus an optional prefix filter.
+
+    ``prefixes=None`` means "everything".  Setting ``active = False`` stops
+    deliveries without touching the owning service.
+    """
+
+    __slots__ = ("callback", "prefixes", "active", "_seq")
+
+    def __init__(self, callback, prefixes: Optional[Sequence[Prefix]] = None):
+        self.callback = callback
+        self.prefixes = tuple(prefixes) if prefixes is not None else None
+        self.active = True
+        #: Subscription order within the owning index (delivery order).
+        self._seq = -1
+
+    def matches(self, prefix: Prefix) -> bool:
+        if self.prefixes is None:
+            return True
+        return any(p.overlaps(prefix) for p in self.prefixes)
+
+
+class InterestIndex:
+    """Maps an observed prefix to its interested subscriptions in O(bits).
+
+    Filter prefixes are trie keys; each key's value is the ordered set of
+    subscriptions watching it.  Wildcard (unfiltered) subscriptions are kept
+    aside.  Lookup counters make the filtering observable from service
+    stats: ``lookups`` total, ``hits`` with at least one match.
+    """
+
+    def __init__(self) -> None:
+        self._next_seq = 0
+        #: Wildcard subscriptions, in subscription order (dict = ordered set).
+        self._wildcards: Dict[Subscription, None] = {}
+        #: filter prefix -> ordered set of subscriptions watching it.
+        self._trie: PrefixTrie[Dict[Subscription, None]] = PrefixTrie()
+        self._size = 0
+        self.lookups = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def add(
+        self,
+        callback,
+        prefixes: Optional[Sequence[Prefix]] = None,
+    ) -> Subscription:
+        """Register a callback; returns the :class:`Subscription` handle."""
+        subscription = Subscription(callback, prefixes)
+        subscription._seq = self._next_seq
+        self._next_seq += 1
+        if subscription.prefixes is None:
+            self._wildcards[subscription] = None
+        else:
+            for prefix in subscription.prefixes:
+                bucket = self._trie.get(prefix)
+                if bucket is None:
+                    bucket = {}
+                    self._trie[prefix] = bucket
+                bucket[subscription] = None
+        self._size += 1
+        return subscription
+
+    def discard(self, subscription: Subscription) -> None:
+        """Deactivate and remove a subscription (idempotent)."""
+        subscription.active = False
+        removed = False
+        if subscription.prefixes is None:
+            removed = self._wildcards.pop(subscription, None) is not None or removed
+        else:
+            for prefix in subscription.prefixes:
+                bucket = self._trie.get(prefix)
+                if bucket is None or subscription not in bucket:
+                    continue
+                del bucket[subscription]
+                removed = True
+                if not bucket:
+                    self._trie.remove(prefix)
+        if removed:
+            self._size -= 1
+
+    def _candidates(self, prefix: Prefix) -> List[Subscription]:
+        """Unique subscriptions overlapping ``prefix``, unordered."""
+        seen: Dict[Subscription, None] = dict(self._wildcards)
+        for _stored, bucket in self._trie.covering(prefix):
+            seen.update(bucket)
+        for _stored, bucket in self._trie.covered(prefix):
+            seen.update(bucket)
+        return list(seen)
+
+    def lookup(self, prefix: Prefix) -> List[Subscription]:
+        """Active subscriptions interested in ``prefix``, in subscription order.
+
+        Subscriptions found inactive are dropped from the index on the way
+        (lazy cleanup for consumers that flip ``active`` without calling the
+        service's ``unsubscribe``).
+        """
+        self.lookups += 1
+        matched: List[Subscription] = []
+        stale: List[Subscription] = []
+        for subscription in self._candidates(prefix):
+            if subscription.active:
+                matched.append(subscription)
+            else:
+                stale.append(subscription)
+        for subscription in stale:
+            self.discard(subscription)
+        matched.sort(key=lambda s: s._seq)
+        if matched:
+            self.hits += 1
+        return matched
+
+    def any_match(self, prefix: Prefix) -> bool:
+        """True if at least one active subscription overlaps ``prefix``.
+
+        Pure read — no counters, no lazy cleanup — so the fast-reject path
+        of a service stays allocation-free.
+        """
+        for subscription in self._wildcards:
+            if subscription.active:
+                return True
+        for _stored, bucket in self._trie.covering(prefix):
+            if any(s.active for s in bucket):
+                return True
+        for _stored, bucket in self._trie.covered(prefix):
+            if any(s.active for s in bucket):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"<InterestIndex {self._size} subscriptions "
+            f"(wildcard={len(self._wildcards)}) lookups={self.lookups} "
+            f"hits={self.hits}>"
+        )

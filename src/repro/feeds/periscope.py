@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.bgp.speaker import BGPSpeaker
 from repro.errors import FeedError
 from repro.feeds.events import FeedEvent
-from repro.feeds.stream import FeedCallback, _Subscription
+from repro.feeds.interest import FeedCallback, InterestIndex, Subscription
 from repro.net.prefix import Prefix
 from repro.sim.engine import Engine
 from repro.sim.latency import Delay, Shifted, Exponential, make_delay
@@ -47,6 +47,7 @@ class LookingGlass:
         query_delay: Optional[Delay] = None,
         min_query_interval: float = 10.0,
         rng: Optional[SeededRNG] = None,
+        max_backlog: int = 32,
     ):
         self.name = name
         self.speaker = speaker
@@ -54,9 +55,15 @@ class LookingGlass:
         self.query_delay = query_delay or default_query_delay()
         #: Rate limit enforced by the LG operator (seconds between queries).
         self.min_query_interval = float(min_query_interval)
+        #: Maximum rate-limited queries allowed to queue; extra ones are
+        #: dropped (a real LG returns "busy").  Without the cap, any client
+        #: asking faster than the rate limit drifts the queue ahead forever
+        #: and observation staleness grows without bound.
+        self.max_backlog = int(max_backlog)
         self.rng = rng or SeededRNG(speaker.asn)
         self._next_allowed = 0.0
         self.queries_served = 0
+        self.queries_dropped = 0
 
     @property
     def asn(self) -> int:
@@ -73,12 +80,22 @@ class LookingGlass:
         The answer contains every Loc-RIB entry overlapping the queried
         prefix (exact, more-specific, or covering — what a real
         ``show ip bgp`` longest-match listing exposes).  ``callback`` gets
-        ``(observed_at, rows)`` after the full round trip; queries beyond
-        the rate limit are silently queued.
+        ``(observed_at, rows)`` after the full round trip.  Queries beyond
+        the rate limit queue up to ``max_backlog`` deep; past that they are
+        dropped (counted in ``queries_dropped``), so the answer staleness
+        stays bounded even when the client polls faster than the limit.
         """
+        start = max(self.engine.now, self._next_allowed)
+        if (
+            self.min_query_interval > 0.0
+            and start - self.engine.now
+            >= self.max_backlog * self.min_query_interval
+            and start > self.engine.now
+        ):
+            self.queries_dropped += 1
+            return
         forward = self.query_delay.sample(self.rng) / 2.0
         backward = self.query_delay.sample(self.rng) / 2.0
-        start = max(self.engine.now, self._next_allowed)
         self._next_allowed = start + self.min_query_interval
 
         def execute() -> None:
@@ -120,28 +137,25 @@ class PeriscopeAPI:
         self.poll_interval = float(poll_interval)
         self.rng = rng or SeededRNG(0)
         self.name = name
-        self._subscriptions: List[_Subscription] = []
+        self._interest = InterestIndex()
         self._watched: List[Prefix] = []
         self._poll_handles = []
         #: Last answer per (lg_name, prefix): dedup state.
         self._last_seen: Dict[Tuple[str, Prefix], Tuple[int, ...]] = {}
         self.queries_sent = 0
         self.events_delivered = 0
+        self.events_filtered = 0
 
     def subscribe(
         self,
         callback: FeedCallback,
         prefixes: Optional[Sequence[Prefix]] = None,
-    ) -> _Subscription:
+    ) -> Subscription:
         """Receive change events, optionally filtered by prefix overlap."""
-        subscription = _Subscription(callback, prefixes)
-        self._subscriptions.append(subscription)
-        return subscription
+        return self._interest.add(callback, prefixes)
 
-    def unsubscribe(self, subscription: _Subscription) -> None:
-        subscription.active = False
-        if subscription in self._subscriptions:
-            self._subscriptions.remove(subscription)
+    def unsubscribe(self, subscription: Subscription) -> None:
+        self._interest.discard(subscription)
 
     def watch(self, prefixes: Sequence[Prefix]) -> None:
         """Start polling every LG for each of ``prefixes``.
@@ -222,6 +236,10 @@ class PeriscopeAPI:
         path: Tuple[int, ...],
         observed_at: float,
     ) -> None:
+        matched = self._interest.lookup(prefix)
+        if not matched:
+            self.events_filtered += 1
+            return
         event = FeedEvent(
             source=self.name,
             collector=lg.name,
@@ -232,13 +250,19 @@ class PeriscopeAPI:
             observed_at=observed_at,
             delivered_at=self.engine.now,
         )
-        for subscription in list(self._subscriptions):
-            if subscription.active and subscription.matches(prefix):
-                self.events_delivered += 1
-                subscription.callback(event)
+        for subscription in matched:
+            self.events_delivered += 1
+            subscription.callback(event)
+
+    @property
+    def queries_dropped(self) -> int:
+        """Rate-limit drops across every attached looking glass."""
+        return sum(lg.queries_dropped for lg in self.looking_glasses)
 
     def __repr__(self) -> str:
         return (
             f"<PeriscopeAPI {len(self.looking_glasses)} LGs "
-            f"interval={self.poll_interval}s watched={len(self._watched)}>"
+            f"interval={self.poll_interval}s watched={len(self._watched)} "
+            f"delivered={self.events_delivered} filtered={self.events_filtered} "
+            f"dropped={self.queries_dropped}>"
         )

@@ -7,35 +7,28 @@ subscriber.  Subscribers can filter server-side by prefix (the paper:
 sources "return in near real-time BGP routes/updates for a given list of
 prefixes"), which is also what keeps the monitoring overhead accounting
 honest — filtered-out events are counted but not delivered.
+
+Subscription matching goes through the shared trie-backed
+:class:`~repro.feeds.interest.InterestIndex`, so the per-observation cost
+under background churn is bounded by the prefix length, not by the number
+of subscriptions.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import FeedError
 from repro.feeds.collector import RouteCollector
 from repro.feeds.events import FeedEvent
+from repro.feeds.interest import FeedCallback, InterestIndex, Subscription
 from repro.net.prefix import Prefix
 from repro.sim.engine import Engine
 from repro.sim.latency import Delay, make_delay
 from repro.sim.rng import SeededRNG
 
-FeedCallback = Callable[[FeedEvent], None]
-
-
-class _Subscription:
-    __slots__ = ("callback", "prefixes", "active")
-
-    def __init__(self, callback: FeedCallback, prefixes: Optional[Sequence[Prefix]]):
-        self.callback = callback
-        self.prefixes = tuple(prefixes) if prefixes is not None else None
-        self.active = True
-
-    def matches(self, prefix: Prefix) -> bool:
-        if self.prefixes is None:
-            return True
-        return any(p.overlaps(prefix) for p in self.prefixes)
+#: Backwards-compatible alias; the class moved to :mod:`repro.feeds.interest`.
+_Subscription = Subscription
 
 
 class StreamingService:
@@ -56,9 +49,10 @@ class StreamingService:
         self.rng = rng or SeededRNG(0)
         self.name = name or self.source_name
         self.collectors: List[RouteCollector] = []
-        self._subscriptions: List[_Subscription] = []
+        self._interest = InterestIndex()
         self.events_published = 0
         self.events_delivered = 0
+        self.events_filtered = 0
 
     def attach_collector(self, collector: RouteCollector) -> None:
         """Feed this stream from ``collector``'s observations."""
@@ -77,14 +71,10 @@ class StreamingService:
         Returns the subscription; set ``subscription.active = False`` (or
         call :meth:`unsubscribe`) to stop deliveries.
         """
-        subscription = _Subscription(callback, prefixes)
-        self._subscriptions.append(subscription)
-        return subscription
+        return self._interest.add(callback, prefixes)
 
-    def unsubscribe(self, subscription: _Subscription) -> None:
-        subscription.active = False
-        if subscription in self._subscriptions:
-            self._subscriptions.remove(subscription)
+    def unsubscribe(self, subscription: Subscription) -> None:
+        self._interest.discard(subscription)
 
     # ------------------------------------------------------------------ engine
 
@@ -101,9 +91,8 @@ class StreamingService:
         # Server-side filter: skip the publication machinery entirely when
         # nobody asked for this prefix (background churn would otherwise
         # flood the event queue with undeliverable publications).
-        if not any(
-            s.active and s.matches(prefix) for s in self._subscriptions
-        ):
+        if not self._interest.any_match(prefix):
+            self.events_filtered += 1
             return
         delay = self.latency.sample(self.rng)
         delivered_at = observed_at + delay
@@ -119,15 +108,17 @@ class StreamingService:
         )
 
         def publish() -> None:
-            for subscription in list(self._subscriptions):
-                if subscription.active and subscription.matches(prefix):
-                    self.events_delivered += 1
-                    subscription.callback(event)
+            # Re-resolved at delivery time, so subscriptions added or
+            # deactivated while the event was in flight are honoured.
+            for subscription in self._interest.lookup(prefix):
+                self.events_delivered += 1
+                subscription.callback(event)
 
         self.engine.schedule_at(delivered_at, publish)
 
     def __repr__(self) -> str:
         return (
             f"<{type(self).__name__} {self.name} collectors={len(self.collectors)} "
-            f"published={self.events_published}>"
+            f"published={self.events_published} delivered={self.events_delivered} "
+            f"filtered={self.events_filtered}>"
         )

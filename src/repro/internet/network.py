@@ -18,13 +18,15 @@ It exposes the operations experiments need:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.bgp.policy import FilterChain, MaxLengthFilter, Policy, Relationship
+from repro.bgp.route import Route
 from repro.bgp.rpki import ROVFilter, RPKIRegistry
 from repro.bgp.session import ActivityTracker, Session
 from repro.bgp.speaker import BGPSpeaker
 from repro.errors import SimulationError, TopologyError
+from repro.internet.origins import OriginCache
 from repro.net.prefix import Address, Prefix
 from repro.sim.engine import Engine
 from repro.sim.latency import Delay, DelaySpec, LogNormal, Uniform, make_delay
@@ -102,6 +104,10 @@ class Network:
         self.rng = SeededRNG(seed).substream("network")
         self.speakers: Dict[int, BGPSpeaker] = {}
         self.sessions: List[Session] = []
+        #: Endpoint pair (sorted ASN tuple) -> session, for O(1) link control.
+        self._session_index: Dict[Tuple[int, int], Session] = {}
+        #: Per-target incremental origin caches (see ``origin_map``).
+        self._origin_caches: Dict[Prefix, OriginCache] = {}
         #: Shared RPKI registry; publish ROAs at any time.  Only ASes in
         #: ``rov_adopters`` enforce them.
         self.rpki = RPKIRegistry()
@@ -121,12 +127,30 @@ class Network:
             mrai=self.config.mrai,
         )
         self.speakers[asn] = speaker
+        speaker.on_best_change(self._on_route_change)
+        # ASes attached after a cache was built join every cached target
+        # (with no routes yet, so their origin starts as None).
+        for cache in self._origin_caches.values():
+            cache.set(asn, speaker.resolve_origin(cache.target))
         return speaker
 
     def _session_delay(self, region_a: Optional[Region], region_b: Optional[Region]) -> Delay:
         if self.config.session_delay_override is not None:
             return self.config.session_delay_override
         return session_delay_between(region_a, region_b)
+
+    @staticmethod
+    def _session_key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def _register_session(self, session: Session) -> None:
+        key = self._session_key(session.a.asn, session.b.asn)
+        if key in self._session_index:
+            raise TopologyError(
+                f"a session between AS{key[0]} and AS{key[1]} already exists"
+            )
+        self.sessions.append(session)
+        self._session_index[key] = session
 
     def _build(self) -> None:
         rov_rng = self.rng.substream("rov")
@@ -149,7 +173,7 @@ class Network:
                 rng=self.rng.substream("session", a, b),
                 tracker=self.tracker,
             )
-            self.sessions.append(session)
+            self._register_session(session)
             speaker_a.add_peer(session, a_view)
             speaker_b.add_peer(session, a_view.inverse())
 
@@ -195,7 +219,7 @@ class Network:
                 rng=self.rng.substream("session", asn, provider),
                 tracker=self.tracker,
             )
-            self.sessions.append(session)
+            self._register_session(session)
             speaker.add_peer(session, Relationship.PROVIDER)
             provider_speaker.add_peer(session, Relationship.CUSTOMER)
         return speaker
@@ -220,7 +244,7 @@ class Network:
             rng=self.rng.substream("monitor-session", host_asn, endpoint.asn),
             tracker=self.tracker,
         )
-        self.sessions.append(session)
+        self._register_session(session)
         host.add_peer(session, Relationship.MONITOR)
         return session
 
@@ -261,11 +285,10 @@ class Network:
         raise TopologyError(f"AS{a} and AS{b} are not adjacent in the graph")
 
     def _find_session(self, a: int, b: int) -> Session:
-        for session in self.sessions:
-            endpoints = {session.a.asn, session.b.asn}
-            if endpoints == {a, b}:
-                return session
-        raise TopologyError(f"no session between AS{a} and AS{b}")
+        session = self._session_index.get(self._session_key(a, b))
+        if session is None:
+            raise TopologyError(f"no session between AS{a} and AS{b}")
+        return session
 
     def announce(self, asn: int, prefix: Union[Prefix, str]) -> None:
         """AS ``asn`` starts originating ``prefix``."""
@@ -323,33 +346,83 @@ class Network:
         """The origin AS that ``asn`` currently routes ``target`` towards."""
         return self.speaker(asn).resolve_origin(target)
 
+    @staticmethod
+    def _normalize_target(target: Union[Address, Prefix, str]) -> Prefix:
+        """Canonical probe prefix for a target (addresses → host prefixes)."""
+        if isinstance(target, str):
+            target = Prefix.parse(target)
+        if isinstance(target, Address):
+            return Prefix(target.value, target.bits, target.version)
+        return target
+
+    def _origin_cache_for(self, target: Union[Address, Prefix, str]) -> OriginCache:
+        """The incremental cache for ``target``, built on first use.
+
+        The first query resolves every speaker (one longest-match walk
+        each); from then on :meth:`_on_route_change` re-resolves only the
+        speaker whose Loc-RIB changed, so repeated polling between route
+        changes never walks the tries again.
+        """
+        probe = self._normalize_target(target)
+        cache = self._origin_caches.get(probe)
+        if cache is None:
+            cache = OriginCache(probe)
+            for asn in self.asns():
+                cache.set(asn, self.speakers[asn].resolve_origin(probe))
+            self._origin_caches[probe] = cache
+        else:
+            cache.hits += 1
+        return cache
+
+    def _on_route_change(
+        self,
+        speaker: BGPSpeaker,
+        prefix: Prefix,
+        new_route: Optional[Route],
+        old_route: Optional[Route],
+    ) -> None:
+        """Loc-RIB change hook: refresh only the affected cache entries."""
+        for cache in self._origin_caches.values():
+            if prefix.overlaps(cache.target):
+                cache.invalidations += 1
+                cache.set(speaker.asn, speaker.resolve_origin(cache.target))
+
     def origin_map(self, target: Union[Address, Prefix, str]) -> Dict[int, Optional[int]]:
         """Data-plane ground truth: every AS's selected origin for ``target``."""
-        return {asn: self.speakers[asn].resolve_origin(target) for asn in self.asns()}
+        return self._origin_cache_for(target).snapshot()
 
     def fraction_routing_to(
         self, target: Union[Address, Prefix, str], origin_asn: int
     ) -> float:
         """Fraction of ASes whose selected origin for ``target`` is ``origin_asn``."""
-        origins = self.origin_map(target)
-        if not origins:
-            return 0.0
-        return sum(1 for o in origins.values() if o == origin_asn) / len(origins)
+        return self._origin_cache_for(target).fraction(origin_asn)
 
     def ases_routing_to(
         self, target: Union[Address, Prefix, str], origin_asn: int
     ) -> List[int]:
         """ASNs whose selected origin for ``target`` is ``origin_asn``."""
-        return [
-            asn
-            for asn, origin in sorted(self.origin_map(target).items())
-            if origin == origin_asn
-        ]
+        cache = self._origin_cache_for(target)
+        return sorted(
+            asn for asn, origin in cache.origins.items() if origin == origin_asn
+        )
+
+    @property
+    def origin_cache_stats(self) -> Dict[str, int]:
+        """Aggregate cache effectiveness counters across all targets."""
+        return {
+            "targets": len(self._origin_caches),
+            "hits": sum(c.hits for c in self._origin_caches.values()),
+            "invalidations": sum(
+                c.invalidations for c in self._origin_caches.values()
+            ),
+        }
 
     def __repr__(self) -> str:
+        stats = self.origin_cache_stats
         return (
             f"<Network {len(self.speakers)} ASes, {len(self.sessions)} sessions, "
-            f"t={self.engine.now:.1f}s>"
+            f"t={self.engine.now:.1f}s, origin-cache targets={stats['targets']} "
+            f"hits={stats['hits']} invalidations={stats['invalidations']}>"
         )
 
 

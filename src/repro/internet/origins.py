@@ -1,0 +1,74 @@
+"""Incremental data-plane origin tracking for :class:`~repro.internet.network.Network`.
+
+``Network.origin_map`` answers "which origin does every AS currently route
+this target towards?" — the data-plane ground truth experiments poll over
+and over.  Recomputing it does one longest-prefix-match walk per AS per
+poll, even though :meth:`BGPSpeaker.on_best_change` already says exactly
+which speaker changed which prefix.  :class:`OriginCache` keeps the answer
+materialised per target: the full map is resolved once, then maintained by
+re-resolving only the speaker whose Loc-RIB changed (and only when the
+changed prefix overlaps the target).  Repeated polling between route
+changes is a dict read; per-origin counts are maintained alongside, so
+``fraction_routing_to`` is O(1) as well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.prefix import Prefix
+
+
+class OriginCache:
+    """Materialised per-target origin map with incremental maintenance.
+
+    The owning network resolves entries; the cache only stores them and
+    keeps the per-origin counts in sync.  Counters make the cache's
+    effectiveness observable: ``hits`` (polls served from the cache) and
+    ``invalidations`` (single-speaker re-resolutions after a route change).
+    """
+
+    __slots__ = ("target", "origins", "counts", "hits", "invalidations")
+
+    def __init__(self, target: Prefix):
+        #: Normalised probe (an address target becomes its host prefix).
+        self.target = target
+        #: asn -> resolved origin (None when no route covers the target).
+        self.origins: Dict[int, Optional[int]] = {}
+        #: origin -> number of ASes currently resolving to it.
+        self.counts: Dict[Optional[int], int] = {}
+        self.hits = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self.origins)
+
+    def set(self, asn: int, origin: Optional[int]) -> None:
+        """Install or update one AS's resolved origin, keeping counts exact."""
+        if asn in self.origins:
+            previous = self.origins[asn]
+            if previous == origin:
+                return
+            remaining = self.counts[previous] - 1
+            if remaining:
+                self.counts[previous] = remaining
+            else:
+                del self.counts[previous]
+        self.origins[asn] = origin
+        self.counts[origin] = self.counts.get(origin, 0) + 1
+
+    def snapshot(self) -> Dict[int, Optional[int]]:
+        """A defensive copy of the full origin map."""
+        return dict(self.origins)
+
+    def fraction(self, origin: int) -> float:
+        """Fraction of cached ASes resolving to ``origin`` — O(1)."""
+        if not self.origins:
+            return 0.0
+        return self.counts.get(origin, 0) / len(self.origins)
+
+    def __repr__(self) -> str:
+        return (
+            f"<OriginCache {self.target} ases={len(self.origins)} "
+            f"hits={self.hits} invalidations={self.invalidations}>"
+        )

@@ -193,3 +193,47 @@ class TestHandleEvent:
         service.handle_event(event(path=(3, 64500)))
         service.handle_event(event(path=(3, 666)))
         assert service.events_checked == 2
+
+
+class TestIncidentLifecycleRegressions:
+    def test_refire_after_cooldown_gets_fresh_evidence_times(self):
+        # Regression: first_evidence used to be keyed by the alert's dedup
+        # key, so a re-fired incident inherited the *old* incident's
+        # per-source times and its delays came out wrong (even negative).
+        config = make_config(alert_cooldown=5.0)
+        service = DetectionService(config)
+        service.handle_event(event(t=10, source="ris"))
+        first = service.alert_manager.alerts[0]
+        first.resolve(20.0)
+        # Past cooldown: same pattern fires again as a new incident.
+        service.handle_event(event(t=100, source="ris"))
+        assert len(service.alert_manager) == 2
+        fresh = service.alert_manager.alerts[1]
+        assert fresh is not first
+        assert service.per_source_delay(fresh, reference_time=90.0) == {"ris": 10.0}
+        # The original incident's record is untouched.
+        assert service.per_source_delay(first, reference_time=5.0) == {"ris": 5.0}
+
+    def test_alert_ids_deterministic_across_runs(self):
+        # Regression: IDs came from a process-global counter, so a second
+        # identically-seeded run in the same process saw different IDs.
+        def run():
+            service = DetectionService(make_config())
+            service.handle_event(event(t=10, path=(3, 2, 666)))
+            service.handle_event(event(t=11, path=(3, 2, 777)))
+            service.handle_event(
+                event(t=12, prefix="10.0.0.0/24", path=(3, 666))
+            )
+            return [a.id for a in service.alert_manager.alerts]
+
+        first, second = run(), run()
+        assert first == second == [1, 2, 3]
+
+    def test_directly_constructed_alerts_still_get_ids(self):
+        a = HijackAlert(
+            AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), P("10.0.0.0/23"), 666, event()
+        )
+        b = HijackAlert(
+            AlertType.EXACT_ORIGIN, P("10.0.0.0/23"), P("10.0.0.0/23"), 777, event()
+        )
+        assert b.id == a.id + 1

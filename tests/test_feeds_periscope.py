@@ -171,3 +171,69 @@ class TestPeriscope:
         net7.run_for(31.0)
         served = [lg.queries_served for lg in api.looking_glasses]
         assert all(count >= 1 for count in served)
+
+
+class TestBacklogCap:
+    def _overloaded_lg(self, net, backlog=3):
+        return LookingGlass(
+            "lg-3",
+            net.speaker(3),
+            net.engine,
+            query_delay=Constant(0.2),
+            min_query_interval=10.0,
+            rng=SeededRNG(3),
+            max_backlog=backlog,
+        )
+
+    def test_overload_drops_past_backlog(self, net7):
+        # Regression: queries beyond the rate limit used to queue without
+        # bound, so a fast client pushed the schedule arbitrarily far into
+        # the future and answer staleness grew forever.
+        lg = self._overloaded_lg(net7, backlog=3)
+        times = []
+        for _ in range(50):
+            lg.query(P("10.0.0.0/23"), lambda when, rows: times.append(when))
+        net7.run_for(200.0)
+        assert lg.queries_dropped > 0
+        assert lg.queries_served + lg.queries_dropped == 50
+        # Only the immediate query plus a full backlog ever run.
+        assert lg.queries_served <= 1 + 3
+
+    def test_backlog_drain_bounded_drift(self, net7):
+        lg = self._overloaded_lg(net7, backlog=3)
+        for _ in range(50):
+            lg.query(P("10.0.0.0/23"), lambda when, rows: None)
+        # The rate-limit schedule never drifts past backlog * interval.
+        assert lg._next_allowed - net7.engine.now <= 3 * 10.0 + 1e-9
+
+    def test_backlog_recovers_after_drain(self, net7):
+        lg = self._overloaded_lg(net7, backlog=1)
+        for _ in range(10):
+            lg.query(P("10.0.0.0/23"), lambda when, rows: None)
+        dropped = lg.queries_dropped
+        assert dropped > 0
+        net7.run_for(60.0)  # queue drains
+        served = []
+        lg.query(P("10.0.0.0/23"), lambda when, rows: served.append(when))
+        net7.run_for(30.0)
+        assert len(served) == 1
+        assert lg.queries_dropped == dropped  # no new drops once idle
+
+    def test_unlimited_lg_never_drops(self, net7):
+        lg = make_lg(net7, 3, min_interval=0.0)
+        for _ in range(100):
+            lg.query(P("10.0.0.0/23"), lambda when, rows: None)
+        net7.run_for(10.0)
+        assert lg.queries_dropped == 0
+        assert lg.queries_served == 100
+
+    def test_api_aggregates_drops(self, net7):
+        lgs = [self._overloaded_lg(net7, backlog=2)]
+        api = PeriscopeAPI(net7.engine, lgs, poll_interval=1.0, rng=SeededRNG(0))
+        api.subscribe(lambda e: None)
+        api.watch([P("10.0.0.0/23")])
+        net7.run_for(120.0)
+        api.stop()
+        assert api.queries_dropped == lgs[0].queries_dropped
+        assert api.queries_dropped > 0
+        assert "dropped" in repr(api)

@@ -155,3 +155,102 @@ class TestConvergenceGuards:
         net7.announce(6, "10.0.0.0/23")
         net7.run_until_converged()
         assert not net7.tracker.busy
+
+
+class TestSessionIndex:
+    def test_fail_and_restore_via_index(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.fail_link(3, 6)
+        net7.run_until_converged()
+        # Routes re-route or disappear, but the network stays consistent.
+        assert net7.resolve_origin(6, "10.0.0.5") == 6
+        net7.restore_link(3, 6)
+        net7.run_until_converged()
+        assert net7.fraction_routing_to("10.0.0.5", 6) == 1.0
+
+    def test_find_session_order_insensitive(self, net7):
+        assert net7._find_session(3, 6) is net7._find_session(6, 3)
+
+    def test_unknown_pair_raises(self, net7):
+        with pytest.raises(TopologyError):
+            net7.fail_link(1, 99)
+        with pytest.raises(TopologyError):
+            net7.fail_link(6, 7)  # both exist but are not adjacent
+
+    def test_duplicate_session_rejected(self, net7):
+        with pytest.raises(TopologyError):
+            net7.attach_stub(100, [3, 3])
+
+    def test_index_covers_every_session(self, net7):
+        net7.attach_stub(100, [3, 5])
+        assert len(net7._session_index) == len(net7.sessions)
+        for session in net7.sessions:
+            assert net7._find_session(session.a.asn, session.b.asn) is session
+
+
+class TestOriginCache:
+    def test_repeated_polls_hit_cache(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        first = net7.origin_map("10.0.0.5")
+        for _ in range(5):
+            assert net7.origin_map("10.0.0.5") == first
+        stats = net7.origin_cache_stats
+        assert stats["targets"] == 1
+        assert stats["hits"] == 5
+
+    def test_cache_tracks_announce_and_withdraw(self, net7):
+        # Prime the cache before any route exists.
+        assert set(net7.origin_map("10.0.0.5").values()) == {None}
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        assert set(net7.origin_map("10.0.0.5").values()) == {6}
+        net7.withdraw(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        assert set(net7.origin_map("10.0.0.5").values()) == {None}
+        assert net7.origin_cache_stats["invalidations"] > 0
+
+    def test_cache_matches_fresh_resolution(self, net7):
+        net7.origin_map("10.0.0.5")  # cache primed cold
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.announce(7, "10.0.0.0/24")  # more-specific hijack
+        net7.run_until_converged()
+        cached = net7.origin_map("10.0.0.5")
+        assert cached == {
+            asn: net7.speaker(asn).resolve_origin(P("10.0.0.5/32"))
+            for asn in net7.asns()
+        }
+        assert net7.fraction_routing_to("10.0.0.5", 7) == pytest.approx(
+            len(net7.ases_routing_to("10.0.0.5", 7)) / 7
+        )
+
+    def test_unrelated_prefix_does_not_invalidate(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.origin_map("10.0.0.5")
+        before = net7.origin_cache_stats["invalidations"]
+        net7.announce(5, "99.0.0.0/16")
+        net7.run_until_converged()
+        assert net7.origin_cache_stats["invalidations"] == before
+
+    def test_attached_stub_joins_existing_cache(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.origin_map("10.0.0.5")
+        net7.attach_stub(100, [3])
+        net7.run_until_converged()
+        origins = net7.origin_map("10.0.0.5")
+        assert origins[100] == 6
+
+    def test_cache_survives_link_failure(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        net7.origin_map("10.0.0.5")
+        net7.fail_link(3, 6)
+        net7.run_until_converged()
+        cached = net7.origin_map("10.0.0.5")
+        assert cached == {
+            asn: net7.resolve_origin(asn, "10.0.0.5") for asn in net7.asns()
+        }

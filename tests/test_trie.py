@@ -190,3 +190,59 @@ def test_iteration_is_sorted_and_complete(prefixes):
     keys = list(trie.keys())
     assert keys == sorted(keys)
     assert set(keys) == set(prefixes)
+
+
+class TestDefaultRouteEdgeCases:
+    """Default-route (0.0.0.0/0, ::/0) and mixed-version behaviour of the
+    subtree queries — the paths the feed interest index leans on."""
+
+    def setup_method(self):
+        self.trie = PrefixTrie()
+        for text, value in [
+            ("0.0.0.0/0", "v4-default"),
+            ("10.0.0.0/8", "ten"),
+            ("10.0.0.0/24", "ten-24"),
+            ("::/0", "v6-default"),
+            ("2001:db8::/32", "db8"),
+        ]:
+            self.trie[P(text)] = value
+
+    def test_covering_yields_default_first(self):
+        above = [v for _p, v in self.trie.covering(P("10.0.0.0/24"))]
+        assert above == ["v4-default", "ten", "ten-24"]
+
+    def test_covering_address_includes_default(self):
+        above = [v for _p, v in self.trie.covering(Address.parse("99.0.0.1"))]
+        assert above == ["v4-default"]
+
+    def test_covering_v6_uses_v6_default(self):
+        above = [v for _p, v in self.trie.covering(P("2001:db8::/48"))]
+        assert above == ["v6-default", "db8"]
+
+    def test_covered_from_default_route_is_version_scoped(self):
+        inside_v4 = {v for _p, v in self.trie.covered(P("0.0.0.0/0"))}
+        assert inside_v4 == {"v4-default", "ten", "ten-24"}
+        inside_v6 = {v for _p, v in self.trie.covered(P("::/0"))}
+        assert inside_v6 == {"v6-default", "db8"}
+
+    def test_longest_match_falls_back_to_default(self):
+        assert self.trie.longest_match("99.0.0.1")[0] == P("0.0.0.0/0")
+        assert self.trie.longest_match("10.1.0.1")[0] == P("10.0.0.0/8")
+        assert self.trie.longest_match("10.0.0.1")[0] == P("10.0.0.0/24")
+        assert self.trie.longest_match(Address.parse("fe80::1"))[0] == P("::/0")
+
+    def test_longest_match_prefix_target_with_default(self):
+        # A /0 target can only be matched by the stored /0.
+        match = self.trie.longest_match(P("0.0.0.0/0"))
+        assert match == (P("0.0.0.0/0"), "v4-default")
+
+    def test_default_route_removal(self):
+        assert self.trie.remove(P("0.0.0.0/0")) == "v4-default"
+        assert self.trie.longest_match("99.0.0.1") is None
+        # v6 default untouched.
+        assert self.trie.longest_match(Address.parse("fe80::1"))[1] == "v6-default"
+
+    def test_mixed_version_iteration_deterministic(self):
+        keys = list(self.trie.keys())
+        assert keys == sorted(keys)
+        assert len(keys) == 5
