@@ -81,6 +81,39 @@ def test_perf_engine_event_throughput(benchmark):
     benchmark(run_10k)
 
 
+def test_perf_engine_cancel_heavy(benchmark):
+    """Schedule/cancel churn — the pattern MRAI and poll timers produce."""
+
+    def churn():
+        engine = Engine()
+        keep = [engine.schedule(10.0, lambda: None) for _ in range(50)]
+        for _ in range(2_000):
+            engine.schedule(1000.0, lambda: None).cancel()
+        engine.run()
+        assert all(h.fired for h in keep)
+
+    benchmark(churn)
+
+
+def test_engine_tombstones_stay_bounded():
+    """Scaling guard: cancelled events must not accumulate in the heap.
+
+    With lazy purging alone, a timer-heavy workload (schedule + cancel per
+    update, as MRAI does) leaves every cancelled entry in the queue until
+    its time is reached; the compaction threshold bounds the heap at a
+    small multiple of the live event count instead.
+    """
+    engine = Engine()
+    live = [engine.schedule(1e6, lambda: None) for _ in range(100)]
+    for _ in range(50_000):
+        engine.schedule(1000.0, lambda: None).cancel()
+    assert engine.pending_events() == len(live)
+    assert len(engine._queue) <= 2 * len(live) + 64, (
+        f"heap holds {len(engine._queue)} entries for {len(live)} live events"
+    )
+    assert engine.compactions > 0
+
+
 def test_perf_full_experiment_small(benchmark):
     """End-to-end cost of one small (churn-free) hijack experiment."""
 

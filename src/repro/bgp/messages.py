@@ -9,15 +9,38 @@ propagation is impossible.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.errors import BGPError
 from repro.net.prefix import Prefix
+from repro.perf import COUNTERS as _C
 
 #: BGP ORIGIN attribute codes (RFC 4271 §5.1.1) — lower is preferred.
 ORIGIN_IGP = 0
 ORIGIN_EGP = 1
 ORIGIN_INCOMPLETE = 2
+
+#: Interned AS-path tuples.  Propagation re-creates the same paths at every
+#: hop (each AS prepends itself to a path its neighbors also carry), so one
+#: canonical tuple per distinct path removes most of the per-UPDATE tuple
+#: churn and turns many path-equality checks into identity hits.
+_PATH_CACHE: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+_PATH_CACHE_LIMIT = 1 << 20
+
+
+def intern_path(path: Sequence[int]) -> Tuple[int, ...]:
+    """The canonical tuple for ``path`` (coerced to ints)."""
+    key = path if type(path) is tuple else tuple(path)
+    cached = _PATH_CACHE.get(key)
+    if cached is not None:
+        _C.path_intern_hits += 1
+        return cached
+    _C.path_intern_misses += 1
+    canonical = tuple(int(a) for a in key)
+    if len(_PATH_CACHE) >= _PATH_CACHE_LIMIT:
+        _PATH_CACHE.clear()
+    _PATH_CACHE[canonical] = canonical
+    return canonical
 
 
 class Announcement:
@@ -41,7 +64,7 @@ class Announcement:
         if origin_attr not in (ORIGIN_IGP, ORIGIN_EGP, ORIGIN_INCOMPLETE):
             raise BGPError(f"invalid ORIGIN attribute {origin_attr}")
         self.prefix = prefix
-        self.as_path: Tuple[int, ...] = tuple(int(a) for a in as_path)
+        self.as_path: Tuple[int, ...] = intern_path(as_path)
         self.origin_attr = origin_attr
         self.communities: Tuple[Tuple[int, int], ...] = tuple(
             (int(high), int(low)) for high, low in communities

@@ -83,26 +83,35 @@ class AdjRibIn:
 
 
 class LocRib:
-    """Best route per prefix, with longest-prefix-match resolution."""
+    """Best route per prefix, with longest-prefix-match resolution.
+
+    Exact-prefix operations (the decision process and MRAI flushes hit
+    :meth:`get` for every dirty prefix) are served from a plain dict with
+    the prefix's cached hash; the radix trie is kept in lockstep and only
+    walked for the longest-match / subtree queries that actually need it.
+    """
 
     def __init__(self) -> None:
         self._trie: PrefixTrie[Route] = PrefixTrie()
+        self._exact: Dict[Prefix, Route] = {}
 
     def get(self, prefix: Prefix) -> Optional[Route]:
         """The installed best route for exactly ``prefix``, if any."""
-        return self._trie.get(prefix)
+        return self._exact.get(prefix)
 
     def install(self, route: Route) -> Optional[Route]:
         """Install ``route`` as best for its prefix; returns the previous best."""
-        previous = self._trie.get(route.prefix)
+        previous = self._exact.get(route.prefix)
+        self._exact[route.prefix] = route
         self._trie[route.prefix] = route
         return previous
 
     def remove(self, prefix: Prefix) -> Optional[Route]:
         """Remove the best route for ``prefix``; returns it if present."""
-        if prefix in self._trie:
-            return self._trie.remove(prefix)
-        return None
+        removed = self._exact.pop(prefix, None)
+        if removed is not None:
+            self._trie.remove(prefix)
+        return removed
 
     def resolve(self, target: Union[Address, Prefix, str]) -> Optional[Route]:
         """Data-plane resolution: most specific route covering ``target``.
@@ -124,7 +133,7 @@ class LocRib:
         return self._trie.keys()
 
     def __contains__(self, prefix: Prefix) -> bool:
-        return prefix in self._trie
+        return prefix in self._exact
 
     def __len__(self) -> int:
-        return len(self._trie)
+        return len(self._exact)

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from repro.bgp.messages import ORIGIN_IGP, Announcement
+from repro.bgp.messages import ORIGIN_IGP, Announcement, intern_path
 from repro.errors import BGPError
 from repro.net.prefix import Prefix
+from repro.perf import COUNTERS as _C
 
 
 class Route:
@@ -30,6 +31,7 @@ class Route:
         "local_pref",
         "learned_at",
         "communities",
+        "_export",
     )
 
     def __init__(
@@ -45,12 +47,15 @@ class Route:
         if peer_asn is not None and not as_path:
             raise BGPError(f"learned route for {prefix} has an empty AS path")
         self.prefix = prefix
-        self.as_path: Tuple[int, ...] = tuple(int(a) for a in as_path)
+        self.as_path: Tuple[int, ...] = intern_path(as_path)
         self.origin_attr = origin_attr
         self.peer_asn = None if peer_asn is None else int(peer_asn)
         self.local_pref = int(local_pref)
         self.learned_at = float(learned_at)
         self.communities: Tuple[Tuple[int, int], ...] = tuple(communities)
+        #: Cached single-prepend export form ``(sender_asn, announcement)``;
+        #: see :meth:`export_announcement`.
+        self._export: Optional[Tuple[int, Announcement]] = None
 
     @classmethod
     def local(cls, prefix: Prefix, local_pref: int = 1_000_000) -> "Route":
@@ -101,6 +106,24 @@ class Route:
             self.origin_attr,
             self.communities,
         )
+
+    def export_announcement(self, sender_asn: int) -> Announcement:
+        """The single-prepend export form, built once and shared.
+
+        A Loc-RIB change dirties the prefix towards *every* exportable peer,
+        but the wire announcement is identical for all of them (routes are
+        immutable and per-speaker, so the sender never varies in practice).
+        Caching it here lets one :class:`Announcement` fan out across peers
+        and across MRAI flush rounds.
+        """
+        cached = self._export
+        if cached is not None and cached[0] == sender_asn:
+            _C.announcements_reused += 1
+            return cached[1]
+        _C.announcements_built += 1
+        announcement = self.to_announcement(sender_asn)
+        self._export = (sender_asn, announcement)
+        return announcement
 
     def same_attributes(self, other: "Route") -> bool:
         """True when re-announcing ``other`` instead of ``self`` would be a no-op."""

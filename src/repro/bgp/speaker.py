@@ -13,6 +13,7 @@ is the quantity ARTEMIS' evaluation measures.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 from repro.bgp.decision import select_best
@@ -23,9 +24,18 @@ from repro.bgp.route import Route
 from repro.bgp.session import ActivityTracker, Session
 from repro.errors import BGPError
 from repro.net.prefix import Address, Prefix
+from repro.perf import COUNTERS as _C
 from repro.sim.engine import Engine
 from repro.sim.latency import Constant, Delay
 from repro.sim.rng import SeededRNG
+
+#: MRAI flush order: the prefix's precomputed ``(version, value, length)``
+#: tuple — the same total order as rich ``Prefix`` comparisons, without the
+#: per-comparison method dispatch.
+_FLUSH_ORDER = attrgetter("sort_key")
+
+#: Sentinel for "no route on this side of the change" in export marking.
+_NO_ROUTE = object()
 
 #: Callback fired on every Loc-RIB change:
 #: ``(speaker, prefix, new_route_or_None, old_route_or_None)``.
@@ -97,10 +107,12 @@ class BGPSpeaker:
             raise BGPError(f"AS{self.asn} already has a session with AS{peer.asn}")
         state = PeerState(session, relationship)
         self.peers[peer.asn] = state
-        # Initial table exchange: everything currently best is candidate
-        # for advertisement to the new neighbor.
-        for prefix in list(self.loc_rib.prefixes()):
-            state.dirty.add(prefix)
+        # Initial table exchange: everything currently best *and exportable
+        # to this neighbor* is candidate for advertisement (non-exportable
+        # routes would be dropped by the flush anyway).
+        for route in self.loc_rib.routes():
+            if self._exportable(route, state):
+                state.dirty.add(route.prefix)
         if state.dirty:
             self._schedule_flush(peer.asn)
 
@@ -174,21 +186,22 @@ class BGPSpeaker:
         delay = self.processing_delay.sample(self.rng)
         if self.tracker is not None:
             self.tracker.begin()
+        # Args ride on the event handle — no per-delivery closure.
+        self.engine.schedule(delay, self._process_tracked, sender_asn, message)
 
-        def process() -> None:
-            try:
-                self._process_update(sender_asn, message)
-            finally:
-                if self.tracker is not None:
-                    self.tracker.end()
-
-        self.engine.schedule(delay, process)
+    def _process_tracked(self, sender_asn: int, message: UpdateMessage) -> None:
+        try:
+            self._process_update(sender_asn, message)
+        finally:
+            if self.tracker is not None:
+                self.tracker.end()
 
     def _process_update(self, sender_asn: int, message: UpdateMessage) -> None:
         state = self.peers.get(sender_asn)
         if state is None:
             return
         self.updates_received += 1
+        _C.updates_processed += 1
         touched: List[Prefix] = []
         for withdrawal in message.withdrawals:
             removed = self.adj_rib_in.withdraw(sender_asn, withdrawal.prefix)
@@ -239,24 +252,54 @@ class BGPSpeaker:
             self.loc_rib.install(best)
         for callback in self._best_change_callbacks:
             callback(self, prefix, best, old)
-        self._mark_exports(prefix)
+        self._mark_exports(prefix, best, old)
 
     # ------------------------------------------------------------------- export
 
-    def _exportable(self, route: Optional[Route], state: PeerState) -> bool:
+    def _learned_relationship(self, route: Optional[Route]):
+        """``should_export``'s first argument for ``route`` (or the no-route
+        sentinel): ``None`` for local routes and routes whose peer is gone."""
         if route is None:
+            return _NO_ROUTE
+        if route.is_local:
+            return None
+        state = self.peers.get(route.peer_asn)
+        return state.relationship if state is not None else None
+
+    def _exportable(self, route: Optional[Route], state: PeerState) -> bool:
+        learned_from = self._learned_relationship(route)
+        if learned_from is _NO_ROUTE:
             return False
-        learned_from = (
-            None
-            if route.is_local
-            else self.peers[route.peer_asn].relationship
-            if route.peer_asn in self.peers
-            else None
-        )
         return self.policy.should_export(learned_from, state.relationship)
 
-    def _mark_exports(self, prefix: Prefix) -> None:
+    def _mark_exports(
+        self,
+        prefix: Prefix,
+        new_route: Optional[Route] = None,
+        old_route: Optional[Route] = None,
+    ) -> None:
+        """Dirty ``prefix`` towards every peer the change can matter to.
+
+        A peer is skipped when the policy can export neither the new nor the
+        old route to it *and* nothing was previously advertised (so there is
+        nothing to withdraw either) — e.g. a provider-learned route never
+        dirties other providers or peers under Gao-Rexford.  Called with no
+        routes (the conservative default), every peer is marked.
+        """
+        new_rel = self._learned_relationship(new_route)
+        old_rel = self._learned_relationship(old_route)
+        conservative = new_route is None and old_route is None
+        should_export = self.policy.should_export
         for peer_asn, state in self.peers.items():
+            if not conservative:
+                relationship = state.relationship
+                if not (
+                    (new_rel is not _NO_ROUTE and should_export(new_rel, relationship))
+                    or (old_rel is not _NO_ROUTE and should_export(old_rel, relationship))
+                    or prefix in state.adj_rib_out
+                ):
+                    _C.dirty_marks_skipped += 1
+                    continue
             state.dirty.add(prefix)
             self._schedule_flush(peer_asn)
 
@@ -268,43 +311,49 @@ class BGPSpeaker:
         when = max(self.engine.now, state.next_allowed_send)
         if self.tracker is not None:
             self.tracker.begin()
+        self.engine.schedule_at(when, self._flush_tracked, peer_asn)
 
-        def flush() -> None:
-            try:
-                self._flush(peer_asn)
-            finally:
-                if self.tracker is not None:
-                    self.tracker.end()
-
-        self.engine.schedule_at(when, flush)
+    def _flush_tracked(self, peer_asn: int) -> None:
+        try:
+            self._flush(peer_asn)
+        finally:
+            if self.tracker is not None:
+                self.tracker.end()
 
     def _flush(self, peer_asn: int) -> None:
         state = self.peers.get(peer_asn)
         if state is None:
             return
         state.flush_scheduled = False
+        _C.flushes_run += 1
         announcements: List[Announcement] = []
         withdrawals: List[Withdrawal] = []
-        for prefix in sorted(state.dirty):
-            best = self.loc_rib.get(prefix)
-            previous = state.adj_rib_out.get(prefix)
+        loc_rib_get = self.loc_rib.get
+        adj_rib_out = state.adj_rib_out
+        for prefix in sorted(state.dirty, key=_FLUSH_ORDER):
+            best = loc_rib_get(prefix)
+            previous = adj_rib_out.get(prefix)
             if self._exportable(best, state):
                 # Do not announce a route back to the peer it came from
                 # (split horizon; the peer would reject it on loop check
                 # anyway, this just saves messages).
-                if best is not None and best.peer_asn == peer_asn:
+                if best.peer_asn == peer_asn:
                     if previous is not None:
                         withdrawals.append(Withdrawal(prefix))
-                        del state.adj_rib_out[prefix]
+                        del adj_rib_out[prefix]
                     continue
-                announcement = best.to_announcement(self.asn)
-                if previous is not None and previous == announcement:
+                # One shared Announcement per Loc-RIB change, fanned out to
+                # every peer instead of rebuilt per peer.
+                announcement = best.export_announcement(self.asn)
+                if previous is not None and (
+                    previous is announcement or previous == announcement
+                ):
                     continue
                 announcements.append(announcement)
-                state.adj_rib_out[prefix] = announcement
+                adj_rib_out[prefix] = announcement
             elif previous is not None:
                 withdrawals.append(Withdrawal(prefix))
-                del state.adj_rib_out[prefix]
+                del adj_rib_out[prefix]
         state.dirty.clear()
         if announcements or withdrawals:
             message = UpdateMessage(self.asn, announcements, withdrawals)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.baselines.factories import FACTORIES
@@ -30,6 +31,7 @@ from repro.eval.experiments import (
     summarize_results,
 )
 from repro.eval.report import format_duration, format_table, summary_rows
+from repro.perf import COUNTERS, format_profile
 from repro.testbed.scenario import HijackExperiment, ScenarioConfig
 from repro.topology.generator import GeneratorConfig, generate_internet
 from repro.topology.serial import save_caida
@@ -58,6 +60,11 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--helpers", type=int, default=0, help="outsourced-mitigation helper ASes"
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print simulation perf counters (events/sec etc.) when done",
     )
 
 
@@ -98,6 +105,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
             f"  seed {r.seed}: detect={format_duration(r.detection_delay)} "
             f"total={format_duration(r.total_time)}"
         ),
+        jobs=args.jobs,
     )
     print()
     print(
@@ -225,6 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
     suite = commands.add_parser("suite", help="run a suite of experiments")
     _add_world_arguments(suite)
     suite.add_argument("--runs", type=int, default=10, help="number of seeds")
+    suite.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the seed matrix (deterministic per seed)",
+    )
     suite.add_argument("--json", default=None, help="write results JSON here")
     suite.set_defaults(func=cmd_suite)
 
@@ -267,7 +281,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    profile = getattr(args, "profile", False)
+    if profile:
+        COUNTERS.reset()
+        started = time.perf_counter()
+    code = args.func(args)
+    if profile:
+        print()
+        print(format_profile(time.perf_counter() - started))
+    return code
 
 
 if __name__ == "__main__":

@@ -3,15 +3,24 @@
 The paper reports means "over a few dozen experiments"; these helpers run N
 seeded repetitions of :class:`~repro.testbed.scenario.HijackExperiment` (or a
 baseline) with fresh topologies/sites per seed, then summarise each timing.
+
+Seeded experiments are embarrassingly parallel — each seed builds its own
+world from scratch and shares nothing at runtime — so
+:func:`run_artemis_suite` fans the matrix out across worker processes when
+``jobs > 1``.  Every world is fully determined by its seed, so the per-seed
+results are bit-identical whatever the job count, and they are returned in
+seed order regardless of completion order.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Callable, Dict, List, Optional, Sequence
+import multiprocessing
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.runner import BaselineExperiment, BaselineResult
 from repro.eval.stats import Summary, summarize
+from repro.perf import COUNTERS
 from repro.testbed.scenario import ExperimentResult, HijackExperiment, ScenarioConfig
 
 
@@ -21,18 +30,63 @@ def _config_for_seed(template: ScenarioConfig, seed: int) -> ScenarioConfig:
     return config
 
 
+#: The scenario template each worker process runs seeds against.  Installed
+#: once per worker by the pool initializer, so the (potentially large,
+#: pre-built-topology) template is pickled per worker rather than per seed.
+_WORKER_TEMPLATE: Optional[ScenarioConfig] = None
+
+
+def _init_worker(template: ScenarioConfig) -> None:
+    global _WORKER_TEMPLATE
+    _WORKER_TEMPLATE = template
+    COUNTERS.reset()
+
+
+def _run_worker_seed(seed: int) -> Tuple[ExperimentResult, Dict[str, int]]:
+    """Run one seed in a worker; ship the result and the perf delta back."""
+    before = COUNTERS.as_dict()
+    result = HijackExperiment(_config_for_seed(_WORKER_TEMPLATE, seed)).run()
+    after = COUNTERS.as_dict()
+    delta = {field: after[field] - before[field] for field in after}
+    return result, delta
+
+
 def run_artemis_suite(
     template: ScenarioConfig,
     seeds: Sequence[int],
     on_result: Optional[Callable[[ExperimentResult], None]] = None,
+    jobs: int = 1,
 ) -> List[ExperimentResult]:
-    """Run one ARTEMIS experiment per seed (independent worlds)."""
+    """Run one ARTEMIS experiment per seed (independent worlds).
+
+    ``jobs > 1`` fans the seeds out over that many worker processes; the
+    per-seed outputs are identical to a serial run (each world is fully
+    seeded) and ``on_result`` still fires in seed order.  Worker perf
+    counters are merged back into the parent's
+    :data:`repro.perf.COUNTERS` so ``--profile`` stays meaningful.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    seeds = list(seeds)
+    if jobs == 1 or len(seeds) <= 1:
+        results = []
+        for seed in seeds:
+            result = HijackExperiment(_config_for_seed(template, seed)).run()
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        return results
     results = []
-    for seed in seeds:
-        result = HijackExperiment(_config_for_seed(template, seed)).run()
-        results.append(result)
-        if on_result is not None:
-            on_result(result)
+    with multiprocessing.Pool(
+        min(jobs, len(seeds)), initializer=_init_worker, initargs=(template,)
+    ) as pool:
+        # imap preserves seed order, so output is deterministic even when
+        # workers finish out of order.
+        for result, perf_delta in pool.imap(_run_worker_seed, seeds):
+            COUNTERS.merge(perf_delta)
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
     return results
 
 

@@ -12,9 +12,10 @@ spellings of the same network compare equal.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple, Union
+from typing import Dict, Iterator, List, Tuple, Union
 
 from repro.errors import PrefixError
+from repro.perf import COUNTERS as _C
 
 _V4_BITS = 32
 _V6_BITS = 128
@@ -101,7 +102,7 @@ class Address:
     collections sort deterministically.
     """
 
-    __slots__ = ("value", "version")
+    __slots__ = ("value", "version", "_hash")
 
     def __init__(self, value: int, version: int = 4):
         if version not in (4, 6):
@@ -111,6 +112,7 @@ class Address:
             raise PrefixError(f"address value {value} out of range for IPv{version}")
         self.value = value
         self.version = version
+        self._hash = hash((version, value))
 
     @classmethod
     def parse(cls, text: str) -> "Address":
@@ -147,7 +149,7 @@ class Address:
         return self == other or self < other
 
     def __hash__(self) -> int:
-        return hash((self.version, self.value))
+        return self._hash
 
 
 class Prefix:
@@ -160,7 +162,7 @@ class Prefix:
     more-specifics, which the radix trie and de-aggregation code rely on.
     """
 
-    __slots__ = ("value", "length", "version", "_hash")
+    __slots__ = ("value", "length", "version", "_hash", "sort_key")
 
     def __init__(self, value: int, length: int, version: int = 4):
         if version not in (4, 6):
@@ -176,13 +178,33 @@ class Prefix:
         self.length = length
         self.version = version
         self._hash = hash((version, self.value, length))
+        #: Total-order key ``(version, value, length)`` — the tuple ``__lt__``
+        #: compares.  Hot sorts (e.g. MRAI flush order) use it directly so
+        #: ordering costs one tuple comparison instead of rich-compare calls.
+        self.sort_key = (version, self.value, length)
 
     @classmethod
     def parse(cls, text: str) -> "Prefix":
         """Parse ``"10.0.0.0/23"`` or ``"2001:db8::/32"`` text.
 
         A bare address is accepted as a host prefix (/32 or /128).
+        Results are interned per spelling: repeated parses of the same text
+        (feed subscriptions, probe targets, config round-trips) return the
+        same immutable object without re-tokenising.
         """
+        cached = _PARSE_CACHE.get(text)
+        if cached is not None:
+            _C.prefix_parse_hits += 1
+            return cached
+        _C.prefix_parse_misses += 1
+        prefix = cls._parse_uncached(text)
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[text] = prefix
+        return prefix
+
+    @classmethod
+    def _parse_uncached(cls, text: str) -> "Prefix":
         text = text.strip()
         if "/" in text:
             addr_text, _, len_text = text.partition("/")
@@ -333,14 +355,15 @@ class Prefix:
     def __lt__(self, other: "Prefix") -> bool:
         if not isinstance(other, Prefix):
             return NotImplemented
-        return (self.version, self.value, self.length) < (
-            other.version,
-            other.value,
-            other.length,
-        )
+        return self.sort_key < other.sort_key
 
     def __le__(self, other: "Prefix") -> bool:
         return self == other or self < other
 
     def __hash__(self) -> int:
         return self._hash
+
+
+#: Interned ``Prefix.parse`` results, keyed by the exact input spelling.
+_PARSE_CACHE: Dict[str, Prefix] = {}
+_PARSE_CACHE_LIMIT = 65536

@@ -53,23 +53,31 @@ class PrefixTrie(Generic[V]):
         return node is not None and node.has_value
 
     def _find(self, prefix: Prefix) -> Optional[_Node[V]]:
+        # Hot path: inline the per-bit extraction (value >> shift) & 1 with
+        # locals instead of calling Prefix.bit_at for every level.
         node = self._roots[prefix.version]
-        for position in range(prefix.length):
-            node = node.children[prefix.bit_at(position)]
+        value = prefix.value
+        shift = (32 if prefix.version == 4 else 128) - 1
+        for _ in range(prefix.length):
+            node = node.children[(value >> shift) & 1]
             if node is None:
                 return None
+            shift -= 1
         return node
 
     def insert(self, prefix: Prefix, value: V) -> None:
         """Insert or replace the value stored at ``prefix``."""
         node = self._roots[prefix.version]
-        for position in range(prefix.length):
-            bit = prefix.bit_at(position)
+        key = prefix.value
+        shift = (32 if prefix.version == 4 else 128) - 1
+        for _ in range(prefix.length):
+            bit = (key >> shift) & 1
             child = node.children[bit]
             if child is None:
                 child = _Node()
                 node.children[bit] = child
             node = child
+            shift -= 1
         if not node.has_value:
             self._size += 1
         node.value = value
@@ -99,13 +107,16 @@ class PrefixTrie(Generic[V]):
         """
         path: List[Tuple[_Node[V], int]] = []
         node = self._roots[prefix.version]
-        for position in range(prefix.length):
-            bit = prefix.bit_at(position)
+        value_bits = prefix.value
+        shift = (32 if prefix.version == 4 else 128) - 1
+        for _ in range(prefix.length):
+            bit = (value_bits >> shift) & 1
             child = node.children[bit]
             if child is None:
                 raise KeyError(str(prefix))
             path.append((node, bit))
             node = child
+            shift -= 1
         if not node.has_value:
             raise KeyError(str(prefix))
         value = node.value
@@ -143,14 +154,15 @@ class PrefixTrie(Generic[V]):
         best: Optional[Tuple[Prefix, V]] = None
         if node.has_value:
             best = (Prefix(0, 0, probe.version), node.value)  # type: ignore[arg-type]
-        consumed = 0
+        value = probe.value
+        shift = (32 if probe.version == 4 else 128) - 1
         for position in range(probe.length):
-            node = node.children[probe.bit_at(position)]
+            node = node.children[(value >> shift) & 1]
             if node is None:
                 break
-            consumed = position + 1
+            shift -= 1
             if node.has_value:
-                mask_prefix = Prefix(probe.value, consumed, probe.version)
+                mask_prefix = Prefix(value, position + 1, probe.version)
                 best = (mask_prefix, node.value)  # type: ignore[arg-type]
         return best
 
@@ -173,13 +185,16 @@ class PrefixTrie(Generic[V]):
         node = self._roots[probe.version]
         if node.has_value:
             yield Prefix(0, 0, probe.version), node.value  # type: ignore[misc]
+        value = probe.value
+        shift = (32 if probe.version == 4 else 128) - 1
         for position in range(probe.length):
-            node = node.children[probe.bit_at(position)]
+            node = node.children[(value >> shift) & 1]
             if node is None:
                 return
+            shift -= 1
             if node.has_value:
                 yield (
-                    Prefix(probe.value, position + 1, probe.version),
+                    Prefix(value, position + 1, probe.version),
                     node.value,  # type: ignore[misc]
                 )
 

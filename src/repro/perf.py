@@ -1,0 +1,136 @@
+"""Process-wide performance counters for the simulation hot path.
+
+The reproduction suites run hundreds of full experiments, so the substrate
+(engine dispatch, speaker flushes, prefix/path object churn) must stay
+measurably cheap.  This module is the measurement: a single module-global
+:class:`PerfCounters` instance (:data:`COUNTERS`) that the hot paths bump
+with plain integer adds — cheap enough to leave enabled unconditionally.
+
+What the counters capture:
+
+* **engine** — events scheduled / processed / cancelled, tombstones purged
+  from the heap, and queue compactions (the lazy-purge machinery);
+* **bgp** — UPDATEs processed, flushes run, export announcements built vs
+  reused (the per-Loc-RIB-change sharing), and dirty marks skipped because
+  the policy can never export to that peer;
+* **interning** — AS-path tuple and prefix-parse cache hit rates.
+
+``repro.cli --profile`` prints :func:`format_profile` on exit; the parallel
+suite runner merges worker snapshots back into the parent so the table also
+covers multi-process runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+#: Counter fields, in display order.
+FIELDS: Tuple[str, ...] = (
+    # engine
+    "events_scheduled",
+    "events_processed",
+    "events_cancelled",
+    "tombstones_purged",
+    "queue_compactions",
+    # bgp
+    "updates_processed",
+    "flushes_run",
+    "announcements_built",
+    "announcements_reused",
+    "dirty_marks_skipped",
+    # interning
+    "path_intern_hits",
+    "path_intern_misses",
+    "prefix_parse_hits",
+    "prefix_parse_misses",
+)
+
+
+class PerfCounters:
+    """A bag of monotonically increasing integer counters.
+
+    Hot paths increment attributes directly (``COUNTERS.events_scheduled +=
+    1``); everything else — snapshots, merging worker processes, derived
+    ratios — lives here so the increment itself stays one bytecode-cheap
+    integer add.
+    """
+
+    __slots__ = FIELDS
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (start of a profiled run)."""
+        for field in FIELDS:
+            setattr(self, field, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain-dict snapshot (picklable; what workers send back)."""
+        return {field: getattr(self, field) for field in FIELDS}
+
+    def merge(self, snapshot: Mapping[str, int]) -> None:
+        """Add a worker-process snapshot into this instance."""
+        for field, value in snapshot.items():
+            if field in FIELDS:
+                setattr(self, field, getattr(self, field) + int(value))
+
+    # ------------------------------------------------------------ derived
+
+    @property
+    def tombstone_ratio(self) -> float:
+        """Fraction of scheduled events that were cancelled before firing."""
+        if self.events_scheduled == 0:
+            return 0.0
+        return self.events_cancelled / self.events_scheduled
+
+    @property
+    def allocations_avoided(self) -> int:
+        """Objects the caches saved: shared announcements + interning hits."""
+        return (
+            self.announcements_reused
+            + self.path_intern_hits
+            + self.prefix_parse_hits
+            + self.dirty_marks_skipped
+        )
+
+    def events_per_second(self, wall_seconds: float) -> Optional[float]:
+        """Engine events dispatched per wall-clock second, if measurable."""
+        if wall_seconds <= 0:
+            return None
+        return self.events_processed / wall_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"<PerfCounters events={self.events_processed} "
+            f"updates={self.updates_processed} "
+            f"avoided={self.allocations_avoided}>"
+        )
+
+
+#: The process-wide counter instance every hot path increments.
+COUNTERS = PerfCounters()
+
+
+def profile_rows(wall_seconds: Optional[float] = None) -> List[Tuple[str, str]]:
+    """(name, value) rows for the ``--profile`` table, derived stats last."""
+    c = COUNTERS
+    rows: List[Tuple[str, str]] = [
+        (field.replace("_", " "), str(getattr(c, field))) for field in FIELDS
+    ]
+    rows.append(("allocations avoided", str(c.allocations_avoided)))
+    rows.append(("queue tombstone ratio", f"{c.tombstone_ratio:.4f}"))
+    if wall_seconds is not None and wall_seconds > 0:
+        rows.append(("wall time (s)", f"{wall_seconds:.3f}"))
+        rows.append(("events / sec", f"{c.events_processed / wall_seconds:,.0f}"))
+    return rows
+
+
+def format_profile(wall_seconds: Optional[float] = None) -> str:
+    """Render the perf-counter table printed by ``repro.cli --profile``."""
+    rows = profile_rows(wall_seconds)
+    width = max(len(name) for name, _value in rows)
+    lines = ["perf counters", "-" * (width + 16)]
+    for name, value in rows:
+        lines.append(f"{name:<{width}}  {value:>12}")
+    return "\n".join(lines)

@@ -9,34 +9,56 @@ A minimal but complete priority-queue scheduler:
 * :meth:`Engine.run` drains the queue (optionally up to a horizon), which is
   also how "BGP convergence" is detected: the network has converged when no
   BGP events remain.
+
+The scheduler is the innermost loop of every experiment, so it is built to
+be allocation-light: callback arguments are stored on the (slotted) handle
+instead of wrapped in a per-event lambda, cancelled events are purged lazily
+with a compaction threshold instead of lingering as unbounded tombstones,
+and :meth:`Engine.run` drains same-time batches without re-checking the
+horizon.  :data:`repro.perf.COUNTERS` tracks the scheduling traffic.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.perf import COUNTERS as _C
+
+#: Queue size below which cancellation never triggers a compaction — for
+#: tiny queues a rebuild costs more than the tombstones it would reclaim.
+_COMPACT_MIN_QUEUE = 64
 
 
 class EventHandle:
     """Cancellation / inspection handle returned by ``schedule*`` methods."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired", "_engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        engine: Optional["Engine"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
+        self.args = args
         self.cancelled = False
         self.fired = False
+        self._engine = engine
 
     def cancel(self) -> bool:
         """Cancel the event; returns False if it already fired/was cancelled."""
         if self.fired or self.cancelled:
             return False
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancel()
         return True
 
     @property
@@ -49,15 +71,57 @@ class EventHandle:
         return f"<EventHandle t={self.time:.3f} {state}>"
 
 
+class PeriodicHandle(EventHandle):
+    """Handle for a periodic series: cancellable once, live across firings.
+
+    ``time`` always tracks the next scheduled firing, ``fired`` reports
+    whether the series has fired at least once (``firings`` counts them),
+    and ``pending`` stays True until the series is cancelled — a periodic
+    series never ends on its own, so "has fired" must not end it either.
+    """
+
+    __slots__ = ("interval", "firings", "_inner")
+
+    def __init__(self, time: float, interval: float, callback: Callable[[], Any]):
+        super().__init__(time, -1, callback)
+        self.interval = interval
+        self.firings = 0
+        self._inner: Optional[EventHandle] = None
+
+    def cancel(self) -> bool:
+        """Stop all future firings; also drops the queued next firing."""
+        if self.cancelled:
+            return False
+        self.cancelled = True
+        if self._inner is not None:
+            self._inner.cancel()
+            self._inner = None
+        return True
+
+    @property
+    def pending(self) -> bool:
+        return not self.cancelled
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return (
+            f"<PeriodicHandle next={self.time:.3f} every={self.interval:.3f} "
+            f"firings={self.firings} {state}>"
+        )
+
+
 class Engine:
     """Deterministic discrete-event scheduler with a float-seconds clock."""
 
     def __init__(self) -> None:
         self._queue: List[Tuple[float, int, EventHandle]] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._now = 0.0
         self._running = False
+        #: Cancelled-but-still-queued entries (lazy purge bookkeeping).
+        self._tombstones = 0
         self.events_processed = 0
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -80,9 +144,11 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self._now}"
             )
-        bound = (lambda: callback(*args)) if args else callback
-        handle = EventHandle(time, next(self._seq), bound)
-        heapq.heappush(self._queue, (time, handle.seq, handle))
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, self)
+        heapq.heappush(self._queue, (time, seq, handle))
+        _C.events_scheduled += 1
         return handle
 
     def schedule_periodic(
@@ -90,51 +156,92 @@ class Engine:
         interval: float,
         callback: Callable[[], Any],
         first_delay: Optional[float] = None,
-    ) -> EventHandle:
+    ) -> PeriodicHandle:
         """Run ``callback()`` every ``interval`` seconds until cancelled.
 
-        Cancelling the returned handle stops all future firings.  The handle's
-        ``time`` attribute tracks the next scheduled firing.
+        Cancelling the returned handle stops all future firings (including
+        the one already queued).  The handle's ``time`` attribute tracks the
+        next scheduled firing and ``firings``/``fired`` report progress.
         """
         if interval <= 0:
             raise SimulationError(f"periodic interval must be positive, got {interval}")
         delay = interval if first_delay is None else first_delay
         # A stable outer handle that survives reschedules: we wrap each firing
         # so the caller can cancel once and stop the whole series.
-        outer = EventHandle(self._now + delay, -1, callback)
+        outer = PeriodicHandle(self._now + delay, interval, callback)
 
         def fire() -> None:
             if outer.cancelled:
                 return
+            outer.fired = True
+            outer.firings += 1
             callback()
             if not outer.cancelled:
                 inner = self.schedule(interval, fire)
+                outer._inner = inner
                 outer.time = inner.time
 
-        inner = self.schedule(delay, fire)
-        outer.time = inner.time
+        outer._inner = self.schedule(delay, fire)
+        outer.time = outer._inner.time
         return outer
 
+    # ------------------------------------------------------- tombstone purge
+
+    def _note_cancel(self) -> None:
+        """A queued handle was cancelled: count it, compact when they pile up."""
+        self._tombstones += 1
+        _C.events_cancelled += 1
+        if (
+            self._tombstones * 2 > len(self._queue)
+            and len(self._queue) >= _COMPACT_MIN_QUEUE
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (amortised O(n))."""
+        _C.tombstones_purged += self._tombstones
+        _C.queue_compactions += 1
+        self.compactions += 1
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
+
+    @property
+    def tombstones(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._tombstones
+
     def pending_events(self) -> int:
-        """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for _t, _s, h in self._queue if not h.cancelled)
+        """Number of scheduled, not-yet-cancelled events (O(1))."""
+        return len(self._queue) - self._tombstones
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None when the queue is empty."""
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0][0] if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._tombstones -= 1
+            _C.tombstones_purged += 1
+        return queue[0][0] if queue else None
 
     def step(self) -> bool:
         """Fire the single next event; returns False when none remain."""
-        while self._queue:
-            time, _seq, handle = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, handle = heapq.heappop(queue)
             if handle.cancelled:
+                self._tombstones -= 1
+                _C.tombstones_purged += 1
                 continue
             self._now = time
             handle.fired = True
             self.events_processed += 1
-            handle.callback()
+            _C.events_processed += 1
+            callback, args = handle.callback, handle.args
+            if args:
+                callback(*args)
+            else:
+                callback()
             return True
         return False
 
@@ -153,22 +260,44 @@ class Engine:
             raise SimulationError("engine.run() re-entered from a callback")
         self._running = True
         fired = 0
+        queue = self._queue
         try:
-            while True:
+            while queue:
+                time, _seq, handle = queue[0]
+                if handle.cancelled:
+                    heapq.heappop(queue)
+                    self._tombstones -= 1
+                    _C.tombstones_purged += 1
+                    continue
+                if until is not None and time > until:
+                    self._now = until
+                    break
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(
                         f"run() exceeded max_events={max_events}; likely a "
                         "non-converging schedule (check MRAI / periodic tasks)"
                     )
-                next_time = self.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                if not self.step():
-                    break
-                fired += 1
+                # Drain the whole same-time batch without re-checking the
+                # horizon: events never schedule into the past, so nothing
+                # can slip in front of the batch while it runs.
+                self._now = time
+                while queue and queue[0][0] == time:
+                    _t, _s, handle = heapq.heappop(queue)
+                    if handle.cancelled:
+                        self._tombstones -= 1
+                        _C.tombstones_purged += 1
+                        continue
+                    handle.fired = True
+                    self.events_processed += 1
+                    _C.events_processed += 1
+                    fired += 1
+                    callback, args = handle.callback, handle.args
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
+                    if max_events is not None and fired >= max_events:
+                        break
         finally:
             self._running = False
         if until is not None and self._now < until:
@@ -181,6 +310,6 @@ class Engine:
 
     def __repr__(self) -> str:
         return (
-            f"<Engine now={self._now:.3f}s queued={len(self._queue)} "
+            f"<Engine now={self._now:.3f}s queued={self.pending_events()} "
             f"processed={self.events_processed}>"
         )

@@ -72,3 +72,31 @@ class TestCommands:
         code = main(["experiment", "--seed", "11", "--forge-origin"] + FAST_WORLD)
         assert code == 0
         assert "detection delay" in capsys.readouterr().out
+
+
+class TestProfileAndJobs:
+    def test_profile_prints_counter_table(self, capsys):
+        code = main(["experiment", "--seed", "2", "--profile"] + FAST_WORLD)
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "perf counters" in text
+        assert "events processed" in text
+        assert "events / sec" in text
+
+    def test_no_profile_no_counter_table(self, capsys):
+        code = main(["experiment", "--seed", "2"] + FAST_WORLD)
+        assert code == 0
+        assert "perf counters" not in capsys.readouterr().out
+
+    def test_suite_jobs_flag(self, tmp_path, capsys):
+        out = str(tmp_path / "suite.json")
+        code = main(
+            ["suite", "--runs", "2", "--jobs", "2", "--json", out] + FAST_WORLD
+        )
+        assert code == 0
+        assert "timings over 2 experiments" in capsys.readouterr().out
+        assert len(json.loads(open(out).read())) == 2
+
+    def test_jobs_default_is_serial(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.jobs == 1

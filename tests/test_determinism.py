@@ -1,0 +1,105 @@
+"""Golden determinism regression tests.
+
+The hot-path rework (allocation-light engine, shared export announcements,
+interned paths/prefixes, exact-match Loc-RIB) must not change *any* simulated
+outcome — only wall-clock time.  These tests pin that down two ways:
+
+* a golden sha256 digest of a fully seeded E1-style scenario, hard-coded
+  from the pre-optimisation seed tree, so any behavioural drift (timings,
+  per-source delays, BGP update counts, data-plane flips) fails loudly;
+* a jobs=1 vs jobs=N comparison of the suite runner, proving the
+  multiprocessing fan-out returns byte-identical per-seed results in order.
+
+The digest deliberately excludes engine-internal counters such as
+``events_processed``: skipping provably no-op flush events is allowed to
+shrink the event count, as long as every observable outcome is unchanged.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.eval.experiments import run_artemis_suite
+from repro.testbed.scenario import HijackExperiment, ScenarioConfig
+from repro.topology.generator import GeneratorConfig
+
+#: Digest of the golden scenario's observable outcome, recorded on the seed
+#: tree (pre-optimisation) and unchanged by the hot-path rework.
+GOLDEN_DIGEST = "25540de545722a0452b9109df6ff90ebcb9a84658fcdbef752ddda6bf11b3b31"
+
+
+def _golden_config(seed: int = 5) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=seed,
+        topology=GeneratorConfig(num_tier1=3, num_tier2=10, num_stubs=25),
+        churn=None,
+        churn_warmup=0.0,
+        baseline_settle=60.0,
+        monitors=dict(
+            num_ris_vantages=6,
+            num_bgpmon_vantages=4,
+            num_lgs=4,
+            lg_poll_interval=30.0,
+            num_batch_vantages=4,
+        ),
+    )
+
+
+def _outcome_digest(experiment: HijackExperiment, result) -> str:
+    speakers = experiment.network.speakers
+    updates = (
+        sum(s.updates_received for s in speakers.values()),
+        sum(s.updates_sent for s in speakers.values()),
+    )
+    material = repr(
+        (
+            result.detection_delay,
+            result.announce_delay,
+            result.completion_delay,
+            result.total_time,
+            sorted(result.per_source_delay.items()),
+            result.hijack_fraction_peak,
+            result.residual_hijack_fraction,
+            result.alert_type,
+            result.strategy,
+            updates,
+            experiment.tracker.flips,
+        )
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def test_golden_scenario_digest_matches_seed_tree():
+    experiment = HijackExperiment(_golden_config())
+    result = experiment.run()
+    assert _outcome_digest(experiment, result) == GOLDEN_DIGEST
+
+
+def test_same_seed_twice_is_bit_identical():
+    first_exp = HijackExperiment(_golden_config(seed=9))
+    first = _outcome_digest(first_exp, first_exp.run())
+    second_exp = HijackExperiment(_golden_config(seed=9))
+    second = _outcome_digest(second_exp, second_exp.run())
+    assert first == second
+
+
+@pytest.mark.slow
+def test_parallel_suite_matches_serial():
+    template = ScenarioConfig(
+        seed=0,
+        topology=GeneratorConfig(num_tier1=3, num_tier2=10, num_stubs=25),
+        churn=None,
+        churn_warmup=0.0,
+        baseline_settle=60.0,
+    )
+    seeds = [1, 2, 3, 4]
+    serial = run_artemis_suite(template, seeds, jobs=1)
+    parallel = run_artemis_suite(template, seeds, jobs=2)
+    assert [r.seed for r in parallel] == seeds
+    assert [r.to_dict() for r in parallel] == [r.to_dict() for r in serial]
+
+
+def test_parallel_runner_rejects_bad_jobs():
+    template = ScenarioConfig(seed=0)
+    with pytest.raises(ValueError):
+        run_artemis_suite(template, [1], jobs=0)

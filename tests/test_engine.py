@@ -185,3 +185,107 @@ class TestIntrospection:
 
     def test_step_returns_false_when_empty(self):
         assert Engine().step() is False
+
+
+class TestTombstones:
+    def test_cancel_counts_tombstones(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+        handles[3].cancel()
+        handles[7].cancel()
+        assert engine.tombstones == 2
+        assert engine.pending_events() == 8
+
+    def test_double_cancel_counts_once(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert handle.cancel()
+        assert not handle.cancel()
+        assert engine.tombstones == 1
+
+    def test_mass_cancellation_compacts_queue(self):
+        engine = Engine()
+        keep = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+        doomed = [engine.schedule(1000.0, lambda: None) for _ in range(200)]
+        for handle in doomed:
+            handle.cancel()
+        # Tombstones exceeded half the queue well past the size floor, so
+        # the heap was rebuilt at least once; the live count stays exact
+        # even though stragglers below the size floor may linger lazily.
+        assert engine.compactions >= 1
+        assert engine.tombstones < len(doomed)
+        assert engine.pending_events() == len(keep)
+        assert len(engine._queue) < len(keep) + len(doomed)
+
+    def test_small_queues_never_compact(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert engine.compactions == 0
+        assert engine.pending_events() == 0
+
+    def test_run_purges_head_tombstones(self):
+        engine = Engine()
+        log = []
+        doomed = engine.schedule(1.0, lambda: log.append("doomed"))
+        engine.schedule(2.0, lambda: log.append("live"))
+        doomed.cancel()
+        engine.run()
+        assert log == ["live"]
+        assert engine.tombstones == 0
+
+    def test_cancelled_events_never_fire_after_compaction(self):
+        engine = Engine()
+        log = []
+        live = [engine.schedule(float(i + 1), log.append, i) for i in range(5)]
+        doomed = [engine.schedule(0.5, log.append, "bad") for _ in range(200)]
+        for handle in doomed:
+            handle.cancel()
+        engine.run()
+        assert log == list(range(5))
+        assert all(h.fired for h in live)
+
+
+class TestPeriodicHandleState:
+    def test_fired_and_firings_track_progress(self):
+        engine = Engine()
+        handle = engine.schedule_periodic(1.0, lambda: None)
+        assert not handle.fired
+        assert handle.firings == 0
+        engine.run(until=3.5)
+        assert handle.fired
+        assert handle.firings == 3
+
+    def test_time_tracks_next_firing(self):
+        engine = Engine()
+        handle = engine.schedule_periodic(1.0, lambda: None, first_delay=0.5)
+        assert handle.time == 0.5
+        engine.run(until=2.0)
+        assert handle.time == 2.5
+
+    def test_pending_until_cancelled_even_after_firing(self):
+        engine = Engine()
+        handle = engine.schedule_periodic(1.0, lambda: None)
+        engine.run(until=2.5)
+        assert handle.pending  # the series is still live
+        assert handle.cancel()
+        assert not handle.pending
+        assert not handle.cancel()
+
+    def test_cancel_drops_queued_firing(self):
+        engine = Engine()
+        handle = engine.schedule_periodic(1.0, lambda: None)
+        engine.run(until=1.5)
+        handle.cancel()
+        # The queued next firing became a tombstone, not a live event.
+        assert engine.pending_events() == 0
+
+    def test_repr_reports_series_state(self):
+        engine = Engine()
+        handle = engine.schedule_periodic(2.0, lambda: None)
+        engine.run(until=4.5)
+        text = repr(handle)
+        assert "firings=2" in text
+        assert "next=6.000" in text

@@ -1,0 +1,84 @@
+"""Tests for the process-wide perf counters (:mod:`repro.perf`)."""
+
+import pytest
+
+from repro.perf import COUNTERS, FIELDS, PerfCounters, format_profile, profile_rows
+from repro.sim.engine import Engine
+
+
+class TestPerfCounters:
+    def test_starts_at_zero(self):
+        counters = PerfCounters()
+        assert all(value == 0 for value in counters.as_dict().values())
+
+    def test_reset_zeroes_everything(self):
+        counters = PerfCounters()
+        counters.events_scheduled = 7
+        counters.path_intern_hits = 3
+        counters.reset()
+        assert counters.as_dict() == {field: 0 for field in FIELDS}
+
+    def test_merge_adds_snapshot(self):
+        counters = PerfCounters()
+        counters.events_processed = 5
+        counters.merge({"events_processed": 10, "flushes_run": 2})
+        assert counters.events_processed == 15
+        assert counters.flushes_run == 2
+
+    def test_merge_ignores_unknown_fields(self):
+        counters = PerfCounters()
+        counters.merge({"not_a_counter": 99, "updates_processed": 1})
+        assert counters.updates_processed == 1
+        assert "not_a_counter" not in counters.as_dict()
+
+    def test_tombstone_ratio(self):
+        counters = PerfCounters()
+        assert counters.tombstone_ratio == 0.0
+        counters.events_scheduled = 10
+        counters.events_cancelled = 4
+        assert counters.tombstone_ratio == pytest.approx(0.4)
+
+    def test_allocations_avoided_sums_cache_wins(self):
+        counters = PerfCounters()
+        counters.announcements_reused = 1
+        counters.path_intern_hits = 2
+        counters.prefix_parse_hits = 3
+        counters.dirty_marks_skipped = 4
+        assert counters.allocations_avoided == 10
+
+    def test_events_per_second(self):
+        counters = PerfCounters()
+        counters.events_processed = 500
+        assert counters.events_per_second(2.0) == pytest.approx(250.0)
+        assert counters.events_per_second(0.0) is None
+
+
+class TestGlobalWiring:
+    def test_engine_increments_global_counters(self):
+        baseline = COUNTERS.as_dict()
+        engine = Engine()
+        doomed = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        doomed.cancel()
+        engine.run()
+        assert COUNTERS.events_scheduled == baseline["events_scheduled"] + 2
+        assert COUNTERS.events_processed == baseline["events_processed"] + 1
+        assert COUNTERS.events_cancelled == baseline["events_cancelled"] + 1
+
+    def test_profile_rows_cover_all_fields(self):
+        names = [name for name, _value in profile_rows()]
+        for field in FIELDS:
+            assert field.replace("_", " ") in names
+        assert "allocations avoided" in names
+        assert "queue tombstone ratio" in names
+
+    def test_profile_rows_with_wall_time(self):
+        names = [name for name, _value in profile_rows(wall_seconds=1.5)]
+        assert "wall time (s)" in names
+        assert "events / sec" in names
+
+    def test_format_profile_renders_table(self):
+        text = format_profile(0.5)
+        assert text.startswith("perf counters")
+        assert "events processed" in text
+        assert "wall time (s)" in text

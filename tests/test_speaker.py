@@ -299,6 +299,83 @@ class TestErrors:
             Session(world.engine, speaker, speaker)
 
 
+class TestHotPath:
+    """The allocation-avoidance machinery must not change observable behaviour."""
+
+    def test_export_announcement_shared_across_peers(self):
+        # One origin, one transit, three customers: the transit builds the
+        # export announcement once and fans the same object out to everyone.
+        world = World()
+        for asn in (1, 2, 3, 4):
+            world.speaker(asn)
+        world.link(1, 2, Relationship.PROVIDER)  # 1 buys from 2
+        sinks = []
+        for asn in (90001, 90002):
+            sink = TestMonitors.Sink(asn)
+            session = Session(
+                world.engine, world.speakers[2], sink,
+                delay=Constant(0.01), tracker=world.tracker,
+            )
+            world.speakers[2].add_peer(session, Relationship.MONITOR)
+            sinks.append(sink)
+        world.link(3, 2, Relationship.PROVIDER)
+        world.link(4, 2, Relationship.PROVIDER)
+        world.speakers[1].originate(P("10.0.0.0/23"))
+        world.converge()
+        received = [
+            a
+            for sink in sinks
+            for _s, m in sink.received
+            for a in m.announcements
+            if a.prefix == P("10.0.0.0/23")
+        ]
+        assert len(received) == 2
+        assert received[0] is received[1]  # one object, shared across peers
+
+    def test_route_export_announcement_cached(self):
+        from repro.bgp.route import Route
+
+        route = Route(P("10.0.0.0/24"), (7, 8), peer_asn=7, local_pref=100)
+        first = route.export_announcement(5)
+        assert route.export_announcement(5) is first
+        assert first.as_path == (5, 7, 8)
+        # A different sender rebuilds rather than serving a stale path.
+        other = route.export_announcement(6)
+        assert other.as_path == (6, 7, 8)
+
+    def test_peer_route_never_dirties_other_peer(self):
+        # Valley-free: 2 can't export a peer-learned route to another peer,
+        # so the peer-3 session must never even be marked dirty.
+        world = World()
+        for asn in (1, 2, 3):
+            world.speaker(asn)
+        world.link(1, 2, Relationship.PEER)
+        world.link(2, 3, Relationship.PEER)
+        world.speakers[1].originate(P("10.0.0.0/23"))
+        world.converge()
+        assert world.speakers[2].best_route(P("10.0.0.0/23")) is not None
+        assert not world.speakers[2].peers[3].dirty
+        assert not world.speakers[2].peers[3].adj_rib_out
+        assert world.speakers[2].updates_sent == 0
+
+    def test_withdraw_still_reaches_peer_with_stale_adj_rib_out(self):
+        # The dirty-skip must not swallow withdrawals: once a prefix sits in
+        # a peer's Adj-RIB-Out, losing the route must dirty that peer even
+        # though neither old nor new best is exportable any more.
+        world = World()
+        for asn in (1, 2, 3):
+            world.speaker(asn)
+        world.link(1, 2, Relationship.PROVIDER)  # 1 buys from 2
+        world.link(2, 3, Relationship.PROVIDER)  # 2 buys from 3
+        world.speakers[1].originate(P("10.0.0.0/23"))
+        world.converge()
+        assert world.speakers[3].best_route(P("10.0.0.0/23")) is not None
+        world.speakers[1].withdraw_origin(P("10.0.0.0/23"))
+        world.converge()
+        assert world.speakers[3].best_route(P("10.0.0.0/23")) is None
+        assert not world.speakers[2].peers[3].adj_rib_out
+
+
 class TestResolution:
     def test_resolve_origin_prefers_specific(self):
         world = World()
