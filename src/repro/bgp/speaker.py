@@ -285,6 +285,16 @@ class BGPSpeaker:
         nothing to withdraw either) — e.g. a provider-learned route never
         dirties other providers or peers under Gao-Rexford.  Called with no
         routes (the conservative default), every peer is marked.
+
+        Skipping is safe only because a route's exportability cannot change
+        between mark time and flush time: a session's relationship is fixed
+        for its lifetime, and the one event that could flip a route's
+        learned relationship — ``remove_peer`` tearing down the session it
+        was learned over — drops the route from the Adj-RIB-In and re-runs
+        the decision for every affected prefix, which re-marks through here
+        (the vanished peer maps to a ``None`` relationship, i.e. exportable
+        to all).  If relationships ever become mutable in place, this must
+        fall back to marking every peer.
         """
         new_rel = self._learned_relationship(new_route)
         old_rel = self._learned_relationship(old_route)

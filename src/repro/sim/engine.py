@@ -198,11 +198,18 @@ class Engine:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without tombstones (amortised O(n))."""
+        """Rebuild the heap without tombstones (amortised O(n)).
+
+        Filters in place (slice assignment) rather than rebinding
+        ``self._queue``: ``run()``/``step()``/``peek_time()`` hold local
+        aliases to the list, and a callback can cancel enough events to
+        trigger compaction mid-drain — rebinding would strand those loops
+        on a stale list while new events land on the replacement.
+        """
         _C.tombstones_purged += self._tombstones
         _C.queue_compactions += 1
         self.compactions += 1
-        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        self._queue[:] = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(self._queue)
         self._tombstones = 0
 
@@ -254,7 +261,10 @@ class Engine:
 
         ``until`` bounds simulated time (events after it stay queued and the
         clock advances to ``until``); ``max_events`` bounds work as a runaway
-        backstop.  Returns the simulated time when the run stopped.
+        backstop — it raises only when a live event is still queued once the
+        budget is spent, so a run that fires exactly ``max_events`` events and
+        drains the queue completes normally.  Returns the simulated time when
+        the run stopped.
         """
         if self._running:
             raise SimulationError("engine.run() re-entered from a callback")

@@ -247,6 +247,50 @@ class TestTombstones:
         assert log == list(range(5))
         assert all(h.fired for h in live)
 
+    def test_mid_run_compaction_keeps_draining_new_events(self):
+        # Regression: a callback that mass-cancels queued events can trip
+        # the compaction threshold while run() is draining.  The rebuild
+        # must not strand run()'s view of the queue — events scheduled
+        # after the compaction (by the same or later callbacks) must still
+        # fire, and the tombstone counter must stay non-negative.
+        engine = Engine()
+        log = []
+        doomed = [engine.schedule(1000.0, log.append, "bad") for _ in range(200)]
+
+        def purge_and_reschedule() -> None:
+            for handle in doomed:
+                handle.cancel()
+            engine.schedule(1.0, log.append, "after-compaction")
+
+        engine.schedule(1.0, purge_and_reschedule)
+        engine.schedule(3.0, log.append, "tail")
+        engine.run()
+        assert engine.compactions >= 1
+        assert log == ["after-compaction", "tail"]
+        assert engine.tombstones == 0
+        assert engine.pending_events() == 0
+
+    def test_mid_run_compaction_inside_step_and_peek(self):
+        # step() and peek_time() hold the same alias; cancelling from a
+        # stepped callback must leave them coherent too.
+        engine = Engine()
+        log = []
+        doomed = [engine.schedule(1000.0, log.append, "bad") for _ in range(200)]
+
+        def purge() -> None:
+            for handle in doomed:
+                handle.cancel()
+            engine.schedule(0.5, log.append, "late")
+
+        engine.schedule(1.0, purge)
+        assert engine.step()  # fires purge, compacting mid-step
+        assert engine.compactions >= 1
+        assert engine.peek_time() == 1.5
+        assert engine.step()
+        assert not engine.step()
+        assert log == ["late"]
+        assert engine.tombstones >= 0
+
 
 class TestPeriodicHandleState:
     def test_fired_and_firings_track_progress(self):
