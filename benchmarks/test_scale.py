@@ -1,0 +1,134 @@
+"""The 1000-AS scaling bench (Internet-scale propagation hot path).
+
+Not a paper artefact — this bench guards the simulator's own scaling
+headroom.  The topology is roughly 8x the standard bench world (10 tier-1,
+110 tier-2, 880 stub ASes plus the experiment's virtual ASes), with
+background churn keeping MRAI timers realistically armed, the full
+monitoring arsenal deployed, and the complete three-phase hijack scenario
+on top.  Internet-scale propagation means every Loc-RIB change fans out
+towards ~2,200 sessions, so the decision process, export marking, and MRAI
+flushing dominate the wall-clock — exactly the paths the incremental
+decision process and allocation-free delivery optimise.
+
+``BENCH_scaling.json`` (next to this file) records the before/after
+run-phase CPU seconds for the pinned scenario; regenerate the "after" side
+with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_scale.py -s --benchmark-only
+
+The outcome assertions double as a drift guard: the scenario's simulated
+behaviour (detection delay, total time, event and update counts) is fully
+seed-determined and must not move when only constant factors change.
+
+Environment knobs (for CI smoke runs on small machines):
+
+``SCALE_BENCH_SWEEP_SEEDS``
+    Monte-Carlo mini-sweep width (default 2; 0 disables the sweep).
+``SCALE_BENCH_JOBS``
+    Worker processes for the sweep (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conftest import run_once
+from repro.eval.experiments import run_artemis_suite
+from repro.internet.churn import ChurnConfig
+from repro.perf import COUNTERS
+from repro.testbed.scenario import HijackExperiment, ScenarioConfig
+from repro.topology.generator import GeneratorConfig
+
+#: The scaling world: ~1000 ASes in the standard three-tier hierarchy.
+SCALE_TOPOLOGY = dict(num_tier1=10, num_tier2=110, num_stubs=880)
+
+#: Seed-pinned invariants of the scenario below.  These depend only on the
+#: simulated world (never on host speed); a mismatch means an optimisation
+#: changed behaviour, not just constants.
+EXPECTED = {
+    "mitigated": True,
+    "detection_delay": 44.05279270905288,
+    "total_time": 234.99878615983994,
+    "events_processed": 98583,
+    "updates_processed": 32120,
+}
+
+
+def scale_config(seed: int = 11) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=seed,
+        topology=GeneratorConfig(**SCALE_TOPOLOGY),
+        churn=ChurnConfig(pool_size=40, event_rate=0.25),
+        churn_warmup=120.0,
+        monitors=dict(
+            num_ris_vantages=20,
+            num_bgpmon_vantages=12,
+            num_lgs=12,
+            lg_poll_interval=60.0,
+            num_batch_vantages=12,
+        ),
+    )
+
+
+@pytest.mark.slow
+def test_scale_three_phase_scenario(benchmark):
+    """One full 1000-AS hijack scenario; the timer covers only ``run()``.
+
+    Setup (topology generation + world construction) is excluded from the
+    timed region — it is a fraction of a second and not what the hot-path
+    work targets — but reported via ``extra_info`` alongside the per-phase
+    wall times and the hot-path perf counters.
+    """
+    COUNTERS.reset()
+    experiment = HijackExperiment(scale_config())
+    experiment.setup()
+
+    result = run_once(benchmark, experiment.run)
+
+    assert result.mitigated is EXPECTED["mitigated"]
+    assert result.detection_delay == EXPECTED["detection_delay"]
+    assert result.total_time == EXPECTED["total_time"]
+    assert COUNTERS.events_processed == EXPECTED["events_processed"]
+    assert COUNTERS.updates_processed == EXPECTED["updates_processed"]
+
+    benchmark.extra_info["phase_walls"] = {
+        phase: round(seconds, 3)
+        for phase, seconds in experiment.phase_walls.items()
+    }
+    benchmark.extra_info["counters"] = COUNTERS.as_dict()
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    int(os.environ.get("SCALE_BENCH_SWEEP_SEEDS", "2")) < 1,
+    reason="sweep disabled via SCALE_BENCH_SWEEP_SEEDS",
+)
+def test_scale_monte_carlo_mini_sweep(benchmark):
+    """A small seed sweep over the scaling world via the suite runner.
+
+    Exercises the multi-core experiment runner at scale (set
+    ``SCALE_BENCH_JOBS`` > 1 to fan out) and checks that every seeded run
+    completes the full detect-and-mitigate cycle.  Seeds are offset from
+    the pinned scenario's so the sweep adds coverage instead of repeating
+    it.
+    """
+    num_seeds = int(os.environ.get("SCALE_BENCH_SWEEP_SEEDS", "2"))
+    jobs = int(os.environ.get("SCALE_BENCH_JOBS", "1"))
+    template = scale_config(seed=0)
+
+    results = run_once(
+        benchmark,
+        lambda: run_artemis_suite(
+            template, seeds=range(21, 21 + num_seeds), jobs=jobs
+        ),
+    )
+
+    assert len(results) == num_seeds
+    for result in results:
+        assert result.mitigated, f"seed {result.seed} failed to mitigate"
+        assert result.detection_delay is not None
+    benchmark.extra_info["detection_delays"] = [
+        round(result.detection_delay, 3) for result in results
+    ]

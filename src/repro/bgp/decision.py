@@ -22,27 +22,28 @@ from repro.bgp.route import Route
 
 
 def preference_key(route: Route) -> Tuple:
-    """Sort key: smaller is better (usable with ``min``)."""
-    return (
-        -route.local_pref,
-        route.path_length,
-        route.origin_attr,
-        route.learned_at,
-        route.peer_asn if route.peer_asn is not None else -1,
-    )
+    """Sort key: smaller is better (usable with ``min``).
+
+    Precomputed on the (immutable) route at construction time; this
+    accessor exists for sorting call sites and API stability.
+    """
+    return route.pref_key
 
 
 def better(a: Route, b: Route) -> bool:
     """True if route ``a`` is strictly preferred over ``b``."""
-    return preference_key(a) < preference_key(b)
+    return a.pref_key < b.pref_key
 
 
 def select_best(candidates: Iterable[Route]) -> Optional[Route]:
     """Pick the best route among ``candidates`` (None if empty)."""
     best: Optional[Route] = None
+    best_key = None
     for route in candidates:
-        if best is None or better(route, best):
+        key = route.pref_key
+        if best is None or key < best_key:
             best = route
+            best_key = key
     return best
 
 

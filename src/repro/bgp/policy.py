@@ -20,7 +20,7 @@ de-aggregating a /24 does not work (experiment E6).
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.bgp.messages import Announcement
 from repro.errors import BGPError
@@ -48,6 +48,16 @@ class Relationship(enum.Enum):
             return Relationship.CUSTOMER
         return self
 
+
+#: Dense per-relationship index for tuple-indexed policy rows (hot paths
+#: avoid enum hashing by indexing with this instead of dict lookups).
+REL_INDEX: Dict[Relationship, int] = {rel: i for i, rel in enumerate(Relationship)}
+
+#: Extra "learned from" indices into :attr:`Policy.export_grid` beyond the
+#: real relationships: a local (self-originated) route, and the absent route
+#: of a (new, old) change pair (its export row is all-False).
+LOCAL_REL_INDEX: int = len(Relationship)
+ABSENT_REL_INDEX: int = len(Relationship) + 1
 
 #: Default LOCAL_PREF assigned by relationship (higher wins).
 DEFAULT_LOCAL_PREF: Dict[Relationship, int] = {
@@ -145,6 +155,61 @@ class Policy:
         self.local_pref = dict(DEFAULT_LOCAL_PREF)
         if local_pref_overrides:
             self.local_pref.update(local_pref_overrides)
+        self.refresh_export_matrix()
+
+    def refresh_export_matrix(self) -> None:
+        """(Re)build the precomputed ``should_export`` truth table.
+
+        ``should_export`` is pure over its two enum arguments, so the hot
+        export paths read ``export_matrix[learned_from][export_to]`` instead
+        of re-running the rule per (prefix, peer).  Subclasses that override
+        :meth:`should_export` get their override baked in automatically
+        (built last in ``__init__``); ones whose rule depends on mutable
+        state must call this after changing that state — or bypass the
+        matrix entirely.
+        """
+        learned_values = (None, *Relationship)
+        self.export_matrix: Dict[
+            Optional[Relationship], Dict[Relationship, bool]
+        ] = {
+            learned: {to: self.should_export(learned, to) for to in Relationship}
+            for learned in learned_values
+        }
+        #: The same table with rows as tuples indexed by ``REL_INDEX`` — the
+        #: speaker's per-peer loops index these instead of hashing enums.
+        self.export_rows: Dict[Optional[Relationship], Tuple[bool, ...]] = {
+            learned: tuple(row[to] for to in Relationship)
+            for learned, row in self.export_matrix.items()
+        }
+        #: Fully integer-indexed form: ``export_grid[learned_index][to_index]``
+        #: with ``learned_index`` a peer's ``REL_INDEX`` value,
+        #: ``LOCAL_REL_INDEX`` (self-originated / vanished peer), or
+        #: ``ABSENT_REL_INDEX`` (no route on that side of a change).
+        local_row = self.export_rows[None]
+        self.export_grid: Tuple[Tuple[bool, ...], ...] = (
+            *(self.export_rows[rel] for rel in Relationship),
+            local_row,
+            (False,) * len(Relationship),
+        )
+        #: ``mark_grid[new_index][old_index]`` — elementwise OR of the two
+        #: export rows, so :meth:`BGPSpeaker._mark_exports` decides each peer
+        #: with a single tuple index.  All-True rows are normalised to the
+        #: single shared :attr:`mark_all_row` object, so the speaker can
+        #: recognise "mark everyone" with one identity check.
+        all_row = (True,) * len(Relationship)
+        #: Conservative row (no change information): every peer is marked.
+        self.mark_all_row: Tuple[bool, ...] = all_row
+        grid = self.export_grid
+        self.mark_grid: Tuple[Tuple[Tuple[bool, ...], ...], ...] = tuple(
+            tuple(
+                row if not all(row) else all_row
+                for row in (
+                    tuple(a or b for a, b in zip(grid[new], grid[old]))
+                    for old in range(len(grid))
+                )
+            )
+            for new in range(len(grid))
+        )
 
     def accept_import(
         self, announcement: Announcement, relationship: Relationship

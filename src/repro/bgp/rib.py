@@ -12,23 +12,30 @@ Three structures mirror RFC 4271:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.bgp.route import Route
 from repro.net.prefix import Address, Prefix
 from repro.net.trie import PrefixTrie
+from repro.perf import COUNTERS as _C
+
+#: Shared empty mapping backing :meth:`AdjRibIn.candidates_view` misses —
+#: callers only iterate the view, so one immutable-by-convention dict is safe.
+_EMPTY: Dict[int, Route] = {}
 
 
 class AdjRibIn:
     """Routes learned from neighbors, indexed both ways.
 
     ``by_prefix`` drives the decision process (all candidates for a prefix);
-    ``by_peer`` drives session reset / peer removal.
+    ``by_peer`` drives session reset / peer removal.  Both outer tables are
+    keyed by :attr:`Prefix.ikey` (C-level int hashing on the hot path); the
+    stored routes carry the real :class:`Prefix` objects.
     """
 
     def __init__(self) -> None:
-        self._by_prefix: Dict[Prefix, Dict[int, Route]] = {}
-        self._by_peer: Dict[int, Dict[Prefix, Route]] = {}
+        self._by_prefix: Dict[int, Dict[int, Route]] = {}
+        self._by_peer: Dict[int, Dict[int, Route]] = {}
 
     def insert(self, route: Route) -> Optional[Route]:
         """Store ``route`` (implicit withdraw of the peer's previous route).
@@ -37,49 +44,107 @@ class AdjRibIn:
         """
         assert route.peer_asn is not None, "Adj-RIB-In only holds learned routes"
         peer = route.peer_asn
-        previous = self._by_prefix.setdefault(route.prefix, {}).get(peer)
-        self._by_prefix[route.prefix][peer] = route
-        self._by_peer.setdefault(peer, {})[route.prefix] = route
+        ikey = route.prefix.ikey
+        by_peer_routes = self._by_prefix.get(ikey)
+        if by_peer_routes is None:
+            by_peer_routes = self._by_prefix[ikey] = {}
+        previous = by_peer_routes.get(peer)
+        by_peer_routes[peer] = route
+        peer_routes = self._by_peer.get(peer)
+        if peer_routes is None:
+            peer_routes = self._by_peer[peer] = {}
+        peer_routes[ikey] = route
         return previous
+
+    def import_tables(
+        self, peer_asn: int
+    ) -> Tuple[Dict[int, Dict[int, Route]], Dict[int, Route]]:
+        """``(by_prefix, this_peer's_routes)`` for a bulk import from one peer.
+
+        UPDATE processing inserts every announcement of a message from the
+        same sender; handing the two underlying tables out once per message
+        lets the speaker inline :meth:`insert` without re-resolving the
+        peer's row per announcement.  Both tables are keyed by
+        ``prefix.ikey``; callers must keep them in lockstep exactly as
+        :meth:`insert` does.
+        """
+        peer_routes = self._by_peer.get(peer_asn)
+        if peer_routes is None:
+            peer_routes = self._by_peer[peer_asn] = {}
+        return self._by_prefix, peer_routes
+
+    def prefix_table(self) -> Dict[int, Dict[int, Route]]:
+        """The live ``ikey -> {peer_asn: route}`` table (never rebound).
+
+        The speaker's decision process reads candidate rows per prefix
+        millions of times per run; handing the table out once lets it do a
+        single int-keyed ``dict.get`` per decision.  Read-only for callers.
+        """
+        return self._by_prefix
 
     def withdraw(self, peer_asn: int, prefix: Prefix) -> Optional[Route]:
         """Remove the peer's route for ``prefix``; returns it if present."""
-        candidates = self._by_prefix.get(prefix)
+        ikey = prefix.ikey
+        candidates = self._by_prefix.get(ikey)
         removed = None
         if candidates is not None:
             removed = candidates.pop(peer_asn, None)
             if not candidates:
-                del self._by_prefix[prefix]
+                del self._by_prefix[ikey]
         peer_routes = self._by_peer.get(peer_asn)
         if peer_routes is not None:
-            peer_routes.pop(prefix, None)
-            if not peer_routes:
-                del self._by_peer[peer_asn]
+            # The emptied row is kept (bounded by the number of peers ever
+            # seen): :meth:`import_tables` hands out long-lived references.
+            peer_routes.pop(ikey, None)
         return removed
 
     def candidates(self, prefix: Prefix) -> List[Route]:
         """All learned routes for ``prefix`` (decision-process input)."""
-        return list(self._by_prefix.get(prefix, {}).values())
+        return list(self._by_prefix.get(prefix.ikey, _EMPTY).values())
+
+    def candidates_view(self, prefix: Prefix) -> Iterable[Route]:
+        """Like :meth:`candidates` but without the list copy.
+
+        The returned view aliases internal state: it is only valid until the
+        next mutation and must not be stored.  The decision process full scan
+        iterates it exactly once, which is all the hot path needs.
+        """
+        return self._by_prefix.get(prefix.ikey, _EMPTY).values()
 
     def route_from(self, peer_asn: int, prefix: Prefix) -> Optional[Route]:
-        return self._by_prefix.get(prefix, {}).get(peer_asn)
+        return self._by_prefix.get(prefix.ikey, _EMPTY).get(peer_asn)
 
     def prefixes_from(self, peer_asn: int) -> List[Prefix]:
         """All prefixes currently learned from ``peer_asn``."""
-        return list(self._by_peer.get(peer_asn, {}))
+        return [route.prefix for route in self._by_peer.get(peer_asn, _EMPTY).values()]
 
     def drop_peer(self, peer_asn: int) -> List[Prefix]:
         """Remove every route from ``peer_asn`` (session down); returns prefixes."""
-        prefixes = self.prefixes_from(peer_asn)
-        for prefix in prefixes:
+        return [prefix for prefix, _route in self.drop_peer_routes(peer_asn)]
+
+    def drop_peer_routes(self, peer_asn: int) -> List[Tuple[Prefix, Route]]:
+        """Like :meth:`drop_peer` but returns ``(prefix, removed_route)`` pairs
+        so the caller can run the withdraw-aware incremental decision."""
+        pairs = [
+            (route.prefix, route)
+            for route in self._by_peer.get(peer_asn, _EMPTY).values()
+        ]
+        for prefix, _route in pairs:
             self.withdraw(peer_asn, prefix)
-        return prefixes
+        return pairs
 
     def __len__(self) -> int:
         return sum(len(peers) for peers in self._by_prefix.values())
 
     def prefixes(self) -> Iterator[Prefix]:
-        return iter(self._by_prefix)
+        """Distinct prefixes with at least one learned route.
+
+        Rows are dropped as they empty, so every row has a route to take the
+        canonical :class:`Prefix` object from.
+        """
+        return (
+            next(iter(row.values())).prefix for row in self._by_prefix.values()
+        )
 
 
 class LocRib:
@@ -93,25 +158,86 @@ class LocRib:
 
     def __init__(self) -> None:
         self._trie: PrefixTrie[Route] = PrefixTrie()
-        self._exact: Dict[Prefix, Route] = {}
+        #: Exact-match table keyed by :attr:`Prefix.ikey` (int hashing is
+        #: C-level; a Prefix key would pay a Python ``__hash__`` call per
+        #: operation on the busiest table in the simulation).
+        self._exact: Dict[int, Route] = {}
+        #: Bound ``dict.get`` of the exact-match table, **keyed by
+        #: ``prefix.ikey``** — the decision process reads it millions of
+        #: times per run, and the binding skips a Python frame per lookup.
+        #: Valid forever: ``_exact`` is never rebound.
+        self.get_ikey = self._exact.get
+        #: Trie storage node per installed prefix (``ikey``-keyed): replacing
+        #: a best route (the common case during path exploration) writes the
+        #: node's value directly instead of re-walking the trie bits.
+        self._nodes: Dict[int, object] = {}
+        #: Monotone change stamp: bumped on every install/remove, even a
+        #: same-attributes refresh (the stored object changed).  Consumers
+        #: (table dumps, looking-glass answer caches) key cached derived
+        #: state on it instead of re-reading the table.
+        self._version = 0
+        self._snapshot: Optional[Tuple[Route, ...]] = None
+
+    @property
+    def version(self) -> int:
+        """Monotone stamp incremented on every table change."""
+        return self._version
 
     def get(self, prefix: Prefix) -> Optional[Route]:
         """The installed best route for exactly ``prefix``, if any."""
-        return self._exact.get(prefix)
+        return self._exact.get(prefix.ikey)
 
     def install(self, route: Route) -> Optional[Route]:
         """Install ``route`` as best for its prefix; returns the previous best."""
-        previous = self._exact.get(route.prefix)
-        self._exact[route.prefix] = route
-        self._trie[route.prefix] = route
+        prefix = route.prefix
+        ikey = prefix.ikey
+        node = self._nodes.get(ikey)
+        if node is not None:
+            # The prefix has a (possibly emptied) trie node: O(1) update.
+            # The node doubles as the source of the previous value, saving
+            # the exact-table read.  Inline of ``PrefixTrie.set_value``
+            # (including its size bookkeeping) — this is the hottest write
+            # in the simulation and the call frame is measurable.
+            if node.has_value:
+                previous = node.value
+            else:
+                previous = None
+                self._trie._size += 1
+            node.value = route
+            node.has_value = True
+        else:
+            previous = None
+            self._nodes[ikey] = self._trie.insert(prefix, route)
+        self._exact[ikey] = route
+        self._version += 1
+        self._snapshot = None
         return previous
 
     def remove(self, prefix: Prefix) -> Optional[Route]:
         """Remove the best route for ``prefix``; returns it if present."""
-        removed = self._exact.pop(prefix, None)
+        ikey = prefix.ikey
+        removed = self._exact.pop(ikey, None)
         if removed is not None:
-            self._trie.remove(prefix)
+            # Keep the node cached as an empty placeholder: churn cycles on
+            # the same prefix toggle a flag instead of re-walking the trie.
+            self._trie.clear_value(self._nodes[ikey])
+            self._version += 1
+            self._snapshot = None
         return removed
+
+    def snapshot(self) -> Tuple[Route, ...]:
+        """The current table as a tuple, cached until the next change.
+
+        Batch feeds and periodic table dumps between route changes share one
+        tuple instead of re-walking (and re-copying) the trie each time.
+        """
+        cached = self._snapshot
+        if cached is not None:
+            _C.snapshot_cache_hits += 1
+            return cached
+        snapshot = tuple(self._trie.values())
+        self._snapshot = snapshot
+        return snapshot
 
     def resolve(self, target: Union[Address, Prefix, str]) -> Optional[Route]:
         """Data-plane resolution: most specific route covering ``target``.
@@ -133,7 +259,7 @@ class LocRib:
         return self._trie.keys()
 
     def __contains__(self, prefix: Prefix) -> bool:
-        return prefix in self._exact
+        return prefix.ikey in self._exact
 
     def __len__(self) -> int:
         return len(self._exact)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from repro.bgp.messages import ORIGIN_IGP, Announcement, intern_path
+from repro.bgp.policy import LOCAL_REL_INDEX
 from repro.errors import BGPError
 from repro.net.prefix import Prefix
 from repro.perf import COUNTERS as _C
@@ -31,6 +32,8 @@ class Route:
         "local_pref",
         "learned_at",
         "communities",
+        "pref_key",
+        "learned_rel_index",
         "_export",
     )
 
@@ -43,16 +46,49 @@ class Route:
         origin_attr: int = ORIGIN_IGP,
         learned_at: float = 0.0,
         communities: Sequence[Tuple[int, int]] = (),
+        rel_index: Optional[int] = None,
     ):
         if peer_asn is not None and not as_path:
             raise BGPError(f"learned route for {prefix} has an empty AS path")
         self.prefix = prefix
-        self.as_path: Tuple[int, ...] = intern_path(as_path)
+        # Tuples arrive pre-interned (Announcement interns at construction),
+        # so only coerce-and-intern the occasional list/iterable input.
+        self.as_path: Tuple[int, ...] = (
+            as_path if type(as_path) is tuple else intern_path(as_path)
+        )
         self.origin_attr = origin_attr
-        self.peer_asn = None if peer_asn is None else int(peer_asn)
-        self.local_pref = int(local_pref)
-        self.learned_at = float(learned_at)
-        self.communities: Tuple[Tuple[int, int], ...] = tuple(communities)
+        # Type checks instead of unconditional coercion: the hot constructor
+        # call (UPDATE processing) always passes the right types already.
+        self.peer_asn = (
+            peer_asn
+            if peer_asn is None or type(peer_asn) is int
+            else int(peer_asn)
+        )
+        self.local_pref = local_pref if type(local_pref) is int else int(local_pref)
+        self.learned_at = (
+            learned_at if type(learned_at) is float else float(learned_at)
+        )
+        self.communities: Tuple[Tuple[int, int], ...] = (
+            communities if type(communities) is tuple else tuple(communities)
+        )
+        #: The learning session's dense relationship index (see
+        #: ``repro.bgp.policy.REL_INDEX``), cached by the speaker at import
+        #: time so export checks skip the peer-table lookup.  ``None`` when
+        #: the importing context is unknown (e.g. routes built in tests);
+        #: consumers must then fall back to resolving the peer.
+        self.learned_rel_index = (
+            LOCAL_REL_INDEX if self.peer_asn is None else rel_index
+        )
+        #: Decision-process sort key (smaller wins; see ``repro.bgp.decision``).
+        #: Routes are immutable and compared far more often than built, so
+        #: the tuple is materialised once here.
+        self.pref_key = (
+            -self.local_pref,
+            len(self.as_path),
+            self.origin_attr,
+            self.learned_at,
+            self.peer_asn if self.peer_asn is not None else -1,
+        )
         #: Cached single-prepend export form ``(sender_asn, announcement)``;
         #: see :meth:`export_announcement`.
         self._export: Optional[Tuple[int, Announcement]] = None

@@ -19,6 +19,7 @@ from typing import Optional, Protocol
 
 from repro.bgp.messages import UpdateMessage
 from repro.errors import BGPError
+from repro.perf import COUNTERS as _C
 from repro.sim.engine import Engine
 from repro.sim.latency import Constant, Delay
 from repro.sim.rng import SeededRNG
@@ -34,12 +35,20 @@ class Endpoint(Protocol):
 
 
 class ActivityTracker:
-    """Counts in-flight BGP work for convergence detection."""
+    """Counts in-flight BGP work for convergence detection.
+
+    ``total_messages``/``total_nlri`` count *delivered* traffic — a message
+    dropped on arrival because its session was torn down mid-flight counts
+    under ``dropped_messages``/``dropped_nlri`` instead, so convergence
+    stats are not inflated during link-failure experiments.
+    """
 
     def __init__(self) -> None:
         self._count = 0
         self.total_messages = 0
         self.total_nlri = 0
+        self.dropped_messages = 0
+        self.dropped_nlri = 0
 
     def begin(self) -> None:
         self._count += 1
@@ -109,18 +118,27 @@ class Session:
         self.messages_sent += 1
         if self.tracker is not None:
             self.tracker.begin()
-            self.tracker.total_messages += 1
-            self.tracker.total_nlri += message.size
+        # Args ride on the slotted event handle — no per-message closure.
+        self.engine.schedule_at(arrival, self._deliver, receiver, sender_asn, message)
 
-        def deliver() -> None:
-            try:
-                if self.up:
-                    receiver.deliver(sender_asn, message)
-            finally:
-                if self.tracker is not None:
-                    self.tracker.end()
-
-        self.engine.schedule_at(arrival, deliver)
+    def _deliver(
+        self, receiver: Endpoint, sender_asn: int, message: UpdateMessage
+    ) -> None:
+        """Arrival handler: deliver (or drop, if torn down) and settle stats."""
+        _C.deliveries_direct += 1
+        tracker = self.tracker
+        try:
+            if self.up:
+                receiver.deliver(sender_asn, message)
+                if tracker is not None:
+                    tracker.total_messages += 1
+                    tracker.total_nlri += message.size
+            elif tracker is not None:
+                tracker.dropped_messages += 1
+                tracker.dropped_nlri += message.size
+        finally:
+            if tracker is not None:
+                tracker.end()
 
     def tear_down(self) -> None:
         """Mark the session down; in-flight messages are dropped on arrival."""

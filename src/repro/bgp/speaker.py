@@ -13,12 +13,18 @@ is the quantity ARTEMIS' evaluation measures.
 
 from __future__ import annotations
 
-from operator import attrgetter
 from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
-from repro.bgp.decision import select_best
 from repro.bgp.messages import Announcement, UpdateMessage, Withdrawal
-from repro.bgp.policy import Policy, Relationship
+from repro.bgp.policy import (
+    ABSENT_REL_INDEX,
+    LOCAL_REL_INDEX,
+    AcceptAll,
+    MaxLengthFilter,
+    Policy,
+    REL_INDEX,
+    Relationship,
+)
 from repro.bgp.rib import AdjRibIn, LocRib
 from repro.bgp.route import Route
 from repro.bgp.session import ActivityTracker, Session
@@ -29,13 +35,9 @@ from repro.sim.engine import Engine
 from repro.sim.latency import Constant, Delay
 from repro.sim.rng import SeededRNG
 
-#: MRAI flush order: the prefix's precomputed ``(version, value, length)``
-#: tuple — the same total order as rich ``Prefix`` comparisons, without the
-#: per-comparison method dispatch.
-_FLUSH_ORDER = attrgetter("sort_key")
-
-#: Sentinel for "no route on this side of the change" in export marking.
-_NO_ROUTE = object()
+#: Sentinel for "caller does not know the installed best" (distinct from
+#: a known-absent best, which is ``None``).
+_UNKNOWN = object()
 
 #: Callback fired on every Loc-RIB change:
 #: ``(speaker, prefix, new_route_or_None, old_route_or_None)``.
@@ -48,6 +50,7 @@ class PeerState:
     __slots__ = (
         "session",
         "relationship",
+        "rel_index",
         "adj_rib_out",
         "dirty",
         "next_allowed_send",
@@ -57,10 +60,14 @@ class PeerState:
     def __init__(self, session: Session, relationship: Relationship):
         self.session = session
         self.relationship = relationship
-        #: What we last advertised to this peer, per prefix.
-        self.adj_rib_out: Dict[Prefix, Announcement] = {}
-        #: Prefixes whose advertisement to this peer must be re-evaluated.
-        self.dirty: Set[Prefix] = set()
+        #: Dense index into the policy's tuple-indexed export rows.
+        self.rel_index = REL_INDEX[relationship]
+        #: What we last advertised to this peer, keyed by ``prefix.ikey``.
+        self.adj_rib_out: Dict[int, Announcement] = {}
+        #: Prefixes whose advertisement to this peer must be re-evaluated,
+        #: as an ``ikey -> Prefix`` map (int keys hash without a Python
+        #: ``__hash__`` call; the values feed the flush loop).
+        self.dirty: Dict[int, Prefix] = {}
         self.next_allowed_send = 0.0
         self.flush_scheduled = False
 
@@ -88,9 +95,23 @@ class BGPSpeaker:
         #: Minimum route advertisement interval towards each peer.
         self.mrai = mrai or Constant(5.0)
         self.peers: Dict[int, PeerState] = {}
+        #: Flattened ``(peer_asn, state, rel_index, adj_rib_out, dirty)``
+        #: rows in ``peers`` iteration order — :meth:`_mark_exports` walks
+        #: this per Loc-RIB change, and the tuple form saves three attribute
+        #: loads per peer per call.  Rebuilt on peer add/remove; valid
+        #: because a :class:`PeerState` never rebinds those two dicts.
+        self._mark_targets: List[tuple] = []
         self.adj_rib_in = AdjRibIn()
         self.loc_rib = LocRib()
-        self._local_routes: Dict[Prefix, Route] = {}
+        #: Bound Loc-RIB mutators (neither ``loc_rib`` nor its methods are
+        #: ever rebound); skips two attribute loads per decision commit.
+        self._loc_install = self.loc_rib.install
+        self._loc_remove = self.loc_rib.remove
+        #: Locally originated routes, keyed by ``prefix.ikey``.
+        self._local_routes: Dict[int, Route] = {}
+        #: The Adj-RIB-In's live per-prefix table (see
+        #: :meth:`AdjRibIn.prefix_table`); read by the full decision scan.
+        self._rib_rows = self.adj_rib_in.prefix_table()
         self._best_change_callbacks: List[BestChangeCallback] = []
         self.updates_received = 0
         self.updates_sent = 0
@@ -107,12 +128,13 @@ class BGPSpeaker:
             raise BGPError(f"AS{self.asn} already has a session with AS{peer.asn}")
         state = PeerState(session, relationship)
         self.peers[peer.asn] = state
+        self._rebuild_mark_targets()
         # Initial table exchange: everything currently best *and exportable
         # to this neighbor* is candidate for advertisement (non-exportable
         # routes would be dropped by the flush anyway).
         for route in self.loc_rib.routes():
             if self._exportable(route, state):
-                state.dirty.add(route.prefix)
+                state.dirty[route.prefix.ikey] = route.prefix
         if state.dirty:
             self._schedule_flush(peer.asn)
 
@@ -121,8 +143,15 @@ class BGPSpeaker:
         state = self.peers.pop(peer_asn, None)
         if state is None:
             raise BGPError(f"AS{self.asn} has no session with AS{peer_asn}")
-        for prefix in self.adj_rib_in.drop_peer(peer_asn):
-            self._run_decision(prefix)
+        self._rebuild_mark_targets()
+        for prefix, removed in self.adj_rib_in.drop_peer_routes(peer_asn):
+            self._decide_withdraw(prefix, removed)
+
+    def _rebuild_mark_targets(self) -> None:
+        self._mark_targets = [
+            (peer_asn, state, state.rel_index, state.adj_rib_out, state.dirty)
+            for peer_asn, state in self.peers.items()
+        ]
 
     def on_best_change(self, callback: BestChangeCallback) -> None:
         """Subscribe to Loc-RIB changes (used by feeds and bookkeeping)."""
@@ -132,10 +161,11 @@ class BGPSpeaker:
 
     def originate(self, prefix: Prefix) -> None:
         """Start announcing ``prefix`` as its origin AS."""
-        if prefix in self._local_routes:
+        if prefix.ikey in self._local_routes:
             return
-        self._local_routes[prefix] = Route.local(prefix)
-        self._run_decision(prefix)
+        route = Route.local(prefix)
+        self._local_routes[prefix.ikey] = route
+        self._decide_insert(prefix, route, None)
 
     def originate_forged(self, prefix: Prefix, path_suffix: Sequence[int]) -> None:
         """Announce ``prefix`` with a *forged* AS-path tail (an attack).
@@ -151,30 +181,32 @@ class BGPSpeaker:
             raise BGPError("a forged path needs at least the claimed origin")
         if int(path_suffix[0]) == self.asn:
             raise BGPError("forged path must not start with the attacker's ASN")
-        if prefix in self._local_routes:
+        if prefix.ikey in self._local_routes:
             raise BGPError(f"AS{self.asn} already originates {prefix}")
-        self._local_routes[prefix] = Route(
+        route = Route(
             prefix,
             tuple(int(a) for a in path_suffix),
             peer_asn=None,
             local_pref=1_000_000,
             learned_at=self.engine.now,
         )
-        self._run_decision(prefix)
+        self._local_routes[prefix.ikey] = route
+        self._decide_insert(prefix, route, None)
 
     def withdraw_origin(self, prefix: Prefix) -> None:
         """Stop announcing a locally originated ``prefix``."""
-        if self._local_routes.pop(prefix, None) is None:
+        removed = self._local_routes.pop(prefix.ikey, None)
+        if removed is None:
             raise BGPError(f"AS{self.asn} does not originate {prefix}")
-        self._run_decision(prefix)
+        self._decide_withdraw(prefix, removed)
 
     @property
     def originated_prefixes(self) -> List[Prefix]:
-        return list(self._local_routes)
+        return [route.prefix for route in self._local_routes.values()]
 
     def originates(self, prefix: Prefix) -> bool:
         """True if this speaker currently originates ``prefix``."""
-        return prefix in self._local_routes
+        return prefix.ikey in self._local_routes
 
     # ---------------------------------------------------------------- reception
 
@@ -202,75 +234,302 @@ class BGPSpeaker:
             return
         self.updates_received += 1
         _C.updates_processed += 1
-        touched: List[Prefix] = []
+        # One decision per touched prefix, after every change in the message
+        # is applied (first-touch order).  Keyed by ``prefix.ikey``; each
+        # entry carries its change record for the incremental decision —
+        # ``("w", removed_route)`` or ``("a", new_route, replaced_route)`` —
+        # degraded to ``("f", prefix)`` (full scan) when the same prefix is
+        # touched more than once.
+        touched: Dict[int, tuple] = {}
         for withdrawal in message.withdrawals:
-            removed = self.adj_rib_in.withdraw(sender_asn, withdrawal.prefix)
+            prefix = withdrawal.prefix
+            removed = self.adj_rib_in.withdraw(sender_asn, prefix)
             if removed is not None:
-                touched.append(withdrawal.prefix)
+                pikey = prefix.ikey
+                touched[pikey] = (
+                    ("f", prefix) if pikey in touched else ("w", removed)
+                )
+        if message.announcements:
+            # Loop-invariant per-message context: every announcement shares
+            # the sender's relationship and the current clock, and all the
+            # Adj-RIB-In writes target the same peer row.
+            local_pref = self.policy.import_local_pref(state.relationship)
+            learned_at = self.engine.now
+            my_asn = self.asn
+            relationship = state.relationship
+            rel_index = state.rel_index
+            policy = self.policy
+            # The permissive default accepts everything; detect it once per
+            # message and skip two call frames per announcement.  The other
+            # ubiquitous filter — the plain too-specific limit every transit
+            # AS applies — gets the same treatment: its verdict is two
+            # integer compares, hoisted to ``max4``/``max6``.
+            import_filter = policy.import_filter
+            default_accept = type(policy).accept_import is Policy.accept_import
+            accept_all = default_accept and type(import_filter) is AcceptAll
+            max4 = max6 = 0
+            plain_max_length = default_accept and (
+                type(import_filter) is MaxLengthFilter
+            )
+            if plain_max_length:
+                max4 = import_filter.max_length_v4
+                max6 = import_filter.max_length_v6
+            accept_import = policy.accept_import
+            by_prefix, peer_routes = self.adj_rib_in.import_tables(sender_asn)
+            by_prefix_get = by_prefix.get
+            neg_pref = -local_pref
+            new_route = Route.__new__
         for announcement in message.announcements:
-            if announcement.has_loop(self.asn):
+            as_path = announcement.as_path
+            if my_asn in as_path:  # inline has_loop
                 continue
-            if not self.policy.accept_import(announcement, state.relationship):
+            prefix = announcement.prefix
+            if accept_all:
+                accepted = True
+            elif plain_max_length:
+                accepted = prefix.length <= (max4 if prefix.version == 4 else max6)
+            else:
+                accepted = accept_import(announcement, relationship)
+            if not accepted:
                 # A rejected announcement still implicitly withdraws any
                 # previously accepted route for the prefix from this peer.
-                if self.adj_rib_in.withdraw(sender_asn, announcement.prefix):
-                    touched.append(announcement.prefix)
+                removed = self.adj_rib_in.withdraw(sender_asn, prefix)
+                if removed is not None:
+                    pikey = prefix.ikey
+                    touched[pikey] = (
+                        ("f", prefix) if pikey in touched else ("w", removed)
+                    )
                 continue
-            route = Route.from_announcement(
-                announcement,
-                peer_asn=sender_asn,
-                local_pref=self.policy.import_local_pref(state.relationship),
-                learned_at=self.engine.now,
+            # Inline of Route construction (the busiest allocation in the
+            # simulation): Announcement guarantees every field invariant the
+            # constructor would re-check — non-empty interned tuple path,
+            # valid origin, tuple communities — and the hoisted per-message
+            # context supplies the rest, so the attributes are stored
+            # directly on a bare instance.  Keep in lockstep with
+            # Route.__init__.
+            route = new_route(Route)
+            route.prefix = prefix
+            route.as_path = as_path
+            route.origin_attr = origin_attr = announcement.origin_attr
+            route.peer_asn = sender_asn
+            route.local_pref = local_pref
+            route.learned_at = learned_at
+            route.communities = announcement.communities
+            route.learned_rel_index = rel_index
+            route.pref_key = (
+                neg_pref,
+                len(as_path),
+                origin_attr,
+                learned_at,
+                sender_asn,
             )
-            self.adj_rib_in.insert(route)
-            touched.append(announcement.prefix)
-        for prefix in touched:
-            self._run_decision(prefix)
+            route._export = None
+            # Inline of AdjRibIn.insert against the hoisted ikey tables.
+            pikey = prefix.ikey
+            row = by_prefix_get(pikey)
+            if row is None:
+                row = by_prefix[pikey] = {}
+            replaced = row.get(sender_asn)
+            row[sender_asn] = route
+            peer_routes[pikey] = route
+            touched[pikey] = (
+                ("f", prefix) if pikey in touched else ("a", route, replaced)
+            )
+        # Inline of _decide_insert/_decide_withdraw per touched prefix (the
+        # busiest dispatch in the simulation; see those methods for the
+        # soundness argument).
+        get_ikey = self.loc_rib.get_ikey
+        fast = 0
+        for pikey, change in touched.items():
+            kind = change[0]
+            if kind == "a":
+                route = change[1]
+                old = get_ikey(pikey)
+                if old is None:
+                    fast += 1
+                    self._install_best(route.prefix, route, None)
+                elif route.pref_key < old.pref_key:
+                    fast += 1
+                    self._install_best(route.prefix, route, old)
+                elif old is change[2]:
+                    # The installed best was displaced by a no-better
+                    # replacement: any surviving candidate could now win.
+                    self._run_decision(route.prefix, old)
+                else:
+                    # The (still present) old best beats the newcomer.
+                    fast += 1
+            elif kind == "w":
+                removed = change[1]
+                if get_ikey(pikey) is removed:
+                    self._run_decision(removed.prefix, removed)
+                else:
+                    fast += 1
+            else:
+                self._run_decision(change[1])
+        if fast:
+            _C.decision_fast_path += fast
 
     # ----------------------------------------------------------------- decision
 
     def _candidates(self, prefix: Prefix) -> List[Route]:
         routes = self.adj_rib_in.candidates(prefix)
-        local = self._local_routes.get(prefix)
+        local = self._local_routes.get(prefix.ikey)
         if local is not None:
             routes.append(local)
         return routes
 
-    def _run_decision(self, prefix: Prefix) -> None:
-        old = self.loc_rib.get(prefix)
-        best = select_best(self._candidates(prefix))
+    def _run_decision(self, prefix: Prefix, old: object = _UNKNOWN) -> None:
+        """Full decision process: rescan every candidate for ``prefix``.
+
+        The change-aware entry points (:meth:`_decide_insert` /
+        :meth:`_decide_withdraw`) fall back here only when the installed best
+        itself was withdrawn or displaced by a no-better route; this is also
+        the conservative entry for callers without change information.
+        ``old`` lets callers that already read the installed best pass it in
+        (``None`` means known-absent; omitted means unknown).
+        """
+        _C.decision_full_scans += 1
+        pikey = prefix.ikey
+        # Inline of decision.select_best over the live candidate row (no
+        # list copy, no generator frame); unique pref_keys make the minimum
+        # well-defined.
+        best = None
+        row = self._rib_rows.get(pikey)
+        if row:
+            for candidate in row.values():
+                if best is None or candidate.pref_key < best.pref_key:
+                    best = candidate
+        local = self._local_routes.get(pikey)
+        if local is not None and (best is None or local.pref_key < best.pref_key):
+            best = local
+        if old is _UNKNOWN:
+            old = self.loc_rib.get_ikey(pikey)
+        self._install_best(prefix, best, old)
+
+    def _decide_insert(
+        self, prefix: Prefix, route: Route, replaced: Optional[Route]
+    ) -> None:
+        """Decision after ``route`` joined the candidates, displacing
+        ``replaced`` (the same peer's previous route, or ``None``).
+
+        Sound because preference keys are *unique* within a candidate set
+        (the peer ASN is the final tiebreak, local routes use -1), so the
+        best route is the unique minimum: comparing the newcomer against the
+        installed best decides every case except "the best itself was
+        displaced by something no better", which must rescan.
+        """
+        old = self.loc_rib.get_ikey(prefix.ikey)
+        if old is not None and old is replaced and not route.pref_key < old.pref_key:
+            # The installed best left the candidate set and its replacement
+            # does not beat it: any surviving candidate could now win.
+            self._run_decision(prefix, old)
+            return
+        _C.decision_fast_path += 1
+        if old is None or route.pref_key < old.pref_key:
+            self._install_best(prefix, route, old)
+        # Otherwise the (still present, unchanged) old best beats the
+        # newcomer and nothing observable changes.
+
+    def _decide_withdraw(self, prefix: Prefix, removed: Route) -> None:
+        """Decision after ``removed`` left the candidate set."""
+        if self.loc_rib.get_ikey(prefix.ikey) is removed:
+            # The best itself went away: rescan the survivors.
+            self._run_decision(prefix, removed)
+        else:
+            # A non-best candidate vanished; the installed best still wins.
+            _C.decision_fast_path += 1
+
+    def _install_best(
+        self, prefix: Prefix, best: Optional[Route], old: Optional[Route]
+    ) -> None:
+        """Commit a decision outcome: install/remove, callbacks, exports."""
         if best is old:
             return
-        if best is not None and old is not None and best.same_attributes(old):
+        if (
+            best is not None
+            and old is not None
+            # Inline of same_attributes minus the prefix check: both routes
+            # are for ``prefix`` by construction.
+            and best.origin_attr == old.origin_attr
+            and best.as_path == old.as_path
+        ):
             # Same path re-learned (e.g. duplicate announcement): refresh the
             # stored object but generate no churn.
-            self.loc_rib.install(best)
+            self._loc_install(best)
             return
         if best is None:
-            self.loc_rib.remove(prefix)
+            self._loc_remove(prefix)
         else:
-            self.loc_rib.install(best)
+            self._loc_install(best)
         for callback in self._best_change_callbacks:
             callback(self, prefix, best, old)
-        self._mark_exports(prefix, best, old)
+        # --- export marking (inline of _mark_exports; see its docstring
+        # below for the skipping-soundness argument) ---
+        # One precomputed OR of the two export rows; the per-peer check
+        # collapses to a single integer tuple index.  The new route is the
+        # just-installed best, so its import-time relationship index is both
+        # present and current; the old side must resolve the peer live — the
+        # route may predate a session teardown, and a vanished peer maps to
+        # the conservative export-to-all row.
+        if best is None:
+            new_index = ABSENT_REL_INDEX
+        else:
+            new_index = best.learned_rel_index
+            if new_index is None:
+                new_index = self._rel_grid_index(best)
+        if old is None:
+            old_index = ABSENT_REL_INDEX
+        else:
+            old_peer = old.peer_asn
+            if old_peer is None:
+                old_index = LOCAL_REL_INDEX
+            else:
+                old_state = self.peers.get(old_peer)
+                old_index = (
+                    old_state.rel_index
+                    if old_state is not None
+                    else LOCAL_REL_INDEX
+                )
+        policy = self.policy
+        ok_row = policy.mark_grid[new_index][old_index]
+        pikey = prefix.ikey
+        if ok_row is policy.mark_all_row:
+            # All-True rows (any local- or customer-learned side) are
+            # normalised to one shared object, so this identity check skips
+            # the per-peer row indexing for the most common case.
+            for peer_asn, state, rel_index, adj_rib_out, dirty in self._mark_targets:
+                dirty[pikey] = prefix
+                if not state.flush_scheduled:
+                    self._schedule_flush(peer_asn)
+            return
+        skipped = 0
+        for peer_asn, state, rel_index, adj_rib_out, dirty in self._mark_targets:
+            if ok_row[rel_index] or pikey in adj_rib_out:
+                dirty[pikey] = prefix
+                if not state.flush_scheduled:
+                    self._schedule_flush(peer_asn)
+            else:
+                skipped += 1
+        if skipped:
+            _C.dirty_marks_skipped += skipped
 
     # ------------------------------------------------------------------- export
 
-    def _learned_relationship(self, route: Optional[Route]):
-        """``should_export``'s first argument for ``route`` (or the no-route
-        sentinel): ``None`` for local routes and routes whose peer is gone."""
+    def _rel_grid_index(self, route: Optional[Route]) -> int:
+        """``route``'s row index into the policy's integer-indexed export
+        grid: ``ABSENT_REL_INDEX`` for no route, ``LOCAL_REL_INDEX`` for
+        local routes and routes whose peer is gone (conservative: exportable
+        to all, matching the ``None`` learned relationship)."""
         if route is None:
-            return _NO_ROUTE
-        if route.is_local:
-            return None
-        state = self.peers.get(route.peer_asn)
-        return state.relationship if state is not None else None
+            return ABSENT_REL_INDEX
+        peer_asn = route.peer_asn
+        if peer_asn is None:
+            return LOCAL_REL_INDEX
+        state = self.peers.get(peer_asn)
+        return state.rel_index if state is not None else LOCAL_REL_INDEX
 
     def _exportable(self, route: Optional[Route], state: PeerState) -> bool:
-        learned_from = self._learned_relationship(route)
-        if learned_from is _NO_ROUTE:
-            return False
-        return self.policy.should_export(learned_from, state.relationship)
+        return self.policy.export_grid[self._rel_grid_index(route)][state.rel_index]
 
     def _mark_exports(
         self,
@@ -296,22 +555,56 @@ class BGPSpeaker:
         to all).  If relationships ever become mutable in place, this must
         fall back to marking every peer.
         """
-        new_rel = self._learned_relationship(new_route)
-        old_rel = self._learned_relationship(old_route)
-        conservative = new_route is None and old_route is None
-        should_export = self.policy.should_export
-        for peer_asn, state in self.peers.items():
-            if not conservative:
-                relationship = state.relationship
-                if not (
-                    (new_rel is not _NO_ROUTE and should_export(new_rel, relationship))
-                    or (old_rel is not _NO_ROUTE and should_export(old_rel, relationship))
-                    or prefix in state.adj_rib_out
-                ):
-                    _C.dirty_marks_skipped += 1
-                    continue
-            state.dirty.add(prefix)
-            self._schedule_flush(peer_asn)
+        if new_route is None and old_route is None:
+            # Conservative (no change information): mark every peer.
+            ok_row = self.policy.mark_all_row
+        else:
+            # One precomputed OR of the two export rows; the per-peer check
+            # collapses to a single integer tuple index.  The new route is
+            # the just-installed best, so its import-time relationship index
+            # is both present and current; the old route may predate a peer
+            # teardown and goes through the resolving helper.
+            if new_route is None:
+                new_index = ABSENT_REL_INDEX
+            else:
+                new_index = new_route.learned_rel_index
+                if new_index is None:
+                    new_index = self._rel_grid_index(new_route)
+            # Inline of _rel_grid_index(old_route): unlike the new side this
+            # must resolve the peer live — the route may predate a session
+            # teardown, and a vanished peer maps to the conservative
+            # export-to-all row.
+            if old_route is None:
+                old_index = ABSENT_REL_INDEX
+            else:
+                old_peer = old_route.peer_asn
+                if old_peer is None:
+                    old_index = LOCAL_REL_INDEX
+                else:
+                    old_state = self.peers.get(old_peer)
+                    old_index = (
+                        old_state.rel_index
+                        if old_state is not None
+                        else LOCAL_REL_INDEX
+                    )
+            ok_row = self.policy.mark_grid[new_index][old_index]
+        pikey = prefix.ikey
+        if ok_row is self.policy.mark_all_row:
+            # All-True rows (any local- or customer-learned side) are
+            # normalised to one shared object, so this identity check skips
+            # the per-peer row indexing for the most common case.
+            for peer_asn, state, rel_index, adj_rib_out, dirty in self._mark_targets:
+                dirty[pikey] = prefix
+                if not state.flush_scheduled:
+                    self._schedule_flush(peer_asn)
+            return
+        for peer_asn, state, rel_index, adj_rib_out, dirty in self._mark_targets:
+            if ok_row[rel_index] or pikey in adj_rib_out:
+                dirty[pikey] = prefix
+                if not state.flush_scheduled:
+                    self._schedule_flush(peer_asn)
+            else:
+                _C.dirty_marks_skipped += 1
 
     def _schedule_flush(self, peer_asn: int) -> None:
         state = self.peers[peer_asn]
@@ -338,33 +631,70 @@ class BGPSpeaker:
         _C.flushes_run += 1
         announcements: List[Announcement] = []
         withdrawals: List[Withdrawal] = []
-        loc_rib_get = self.loc_rib.get
+        loc_rib_get = self.loc_rib.get_ikey
         adj_rib_out = state.adj_rib_out
-        for prefix in sorted(state.dirty, key=_FLUSH_ORDER):
-            best = loc_rib_get(prefix)
-            previous = adj_rib_out.get(prefix)
-            if self._exportable(best, state):
+        grid = self.policy.export_grid
+        rel_index = state.rel_index
+        my_asn = self.asn
+        dirty = state.dirty
+        reused = 0
+        # ``Prefix.ikey`` integer order equals ``sort_key`` order by
+        # construction, so the deterministic flush order comes from a plain
+        # C-level int sort instead of a Python key function per prefix.
+        for pikey in sorted(dirty):
+            best = loc_rib_get(pikey)
+            previous = adj_rib_out.get(pikey)
+            # Inline of _exportable(best, state) — this loop runs for every
+            # dirty prefix on every flush.  Installed best routes always
+            # carry their import-time relationship index (and their peer is
+            # live: teardown re-decides synchronously); the ``None`` fallback
+            # only triggers for routes injected without one, e.g. in tests.
+            if best is None:
+                exportable = False
+            else:
+                learned_index = best.learned_rel_index
+                if learned_index is None:
+                    learned_index = self._rel_grid_index(best)
+                exportable = grid[learned_index][rel_index]
+            if exportable:
                 # Do not announce a route back to the peer it came from
                 # (split horizon; the peer would reject it on loop check
                 # anyway, this just saves messages).
                 if best.peer_asn == peer_asn:
                     if previous is not None:
-                        withdrawals.append(Withdrawal(prefix))
-                        del adj_rib_out[prefix]
+                        withdrawals.append(Withdrawal(dirty[pikey]))
+                        del adj_rib_out[pikey]
                     continue
                 # One shared Announcement per Loc-RIB change, fanned out to
-                # every peer instead of rebuilt per peer.
-                announcement = best.export_announcement(self.asn)
+                # every peer instead of rebuilt per peer.  Inline of
+                # export_announcement's cache hit (the overwhelmingly common
+                # case once a route has been exported anywhere).
+                cached = best._export
+                if cached is not None and cached[0] == my_asn:
+                    reused += 1
+                    announcement = cached[1]
+                else:
+                    announcement = best.export_announcement(my_asn)
+                # Inline announcement equality: both sides are keyed under
+                # ``prefix`` so only the attributes can differ, and the
+                # shared-export cache makes the identity hit the common case.
                 if previous is not None and (
-                    previous is announcement or previous == announcement
+                    previous is announcement
+                    or (
+                        previous.origin_attr == announcement.origin_attr
+                        and previous.as_path == announcement.as_path
+                        and previous.communities == announcement.communities
+                    )
                 ):
                     continue
                 announcements.append(announcement)
-                adj_rib_out[prefix] = announcement
+                adj_rib_out[pikey] = announcement
             elif previous is not None:
-                withdrawals.append(Withdrawal(prefix))
-                del adj_rib_out[prefix]
-        state.dirty.clear()
+                withdrawals.append(Withdrawal(dirty[pikey]))
+                del adj_rib_out[pikey]
+        dirty.clear()
+        if reused:
+            _C.announcements_reused += reused
         if announcements or withdrawals:
             message = UpdateMessage(self.asn, announcements, withdrawals)
             self.updates_sent += 1
@@ -392,9 +722,14 @@ class BGPSpeaker:
             return None
         return route.origin_as if route.as_path else self.asn
 
-    def table_dump(self) -> List[Route]:
-        """A RIB snapshot (used by batch feeds and looking glasses)."""
-        return list(self.loc_rib.routes())
+    def table_dump(self) -> Sequence[Route]:
+        """A RIB snapshot (used by batch feeds and looking glasses).
+
+        Returns the Loc-RIB's cached tuple — shared until the next table
+        change, so periodic dumps between changes cost O(1).  Callers must
+        treat it as read-only.
+        """
+        return self.loc_rib.snapshot()
 
     def __repr__(self) -> str:
         return (

@@ -66,6 +66,13 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print simulation perf counters (events/sec etc.) when done",
     )
+    parser.add_argument(
+        "--profile-json",
+        default=None,
+        metavar="PATH",
+        help="write perf counters and per-phase wall times as JSON here "
+        "(suite runs merge worker counters and sum phase walls)",
+    )
 
 
 def _scenario_from_args(args: argparse.Namespace, seed: Optional[int] = None) -> ScenarioConfig:
@@ -87,6 +94,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     """Run one three-phase hijack experiment and print the report."""
     experiment = HijackExperiment(_scenario_from_args(args))
     result = experiment.run()
+    args._phase_walls = dict(result.phase_walls)
     print(render_experiment_report(result))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -107,6 +115,11 @@ def cmd_suite(args: argparse.Namespace) -> int:
         ),
         jobs=args.jobs,
     )
+    walls: dict = {}
+    for result in results:
+        for phase, seconds in result.phase_walls.items():
+            walls[phase] = walls.get(phase, 0.0) + seconds
+    args._phase_walls = walls
     print()
     print(
         format_table(
@@ -282,13 +295,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     profile = getattr(args, "profile", False)
-    if profile:
+    profile_json = getattr(args, "profile_json", None)
+    if profile or profile_json:
         COUNTERS.reset()
         started = time.perf_counter()
     code = args.func(args)
     if profile:
         print()
         print(format_profile(time.perf_counter() - started))
+    if profile_json:
+        payload = {
+            "command": args.command,
+            "elapsed_seconds": time.perf_counter() - started,
+            "counters": COUNTERS.as_dict(),
+        }
+        walls = getattr(args, "_phase_walls", None)
+        if walls:
+            payload["phase_walls"] = walls
+        with open(profile_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nprofile written to {profile_json}")
     return code
 
 

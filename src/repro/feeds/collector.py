@@ -19,6 +19,7 @@ from repro.bgp.messages import UpdateMessage
 from repro.errors import FeedError
 from repro.feeds.interest import InterestIndex, Subscription
 from repro.net.prefix import Prefix
+from repro.perf import COUNTERS as _C
 from repro.sim.engine import Engine
 
 #: First pseudo-ASN handed to collectors (inside the RFC 6996 private range).
@@ -48,6 +49,9 @@ class RouteCollector:
         #: Current table per (vantage, prefix) — the collector's own RIB view,
         #: used for RIB dumps by the batch archive.
         self.table: Dict[Tuple[int, Prefix], Tuple[int, ...]] = {}
+        #: Cached sorted rows for :meth:`rib_snapshot`, dropped on any
+        #: table change — periodic dumps of a quiet table share one list.
+        self._snapshot: Optional[List[Tuple[int, Prefix, Tuple[int, ...]]]] = None
         self.vantage_asns: List[int] = []
         self.observations = 0
         self.observations_filtered = 0
@@ -81,6 +85,7 @@ class RouteCollector:
     def deliver(self, sender_asn: int, message: UpdateMessage) -> None:
         """Receive an UPDATE from a vantage AS (Session delivery hook)."""
         now = self.engine.now
+        self._snapshot = None
         for withdrawal in message.withdrawals:
             self.table.pop((sender_asn, withdrawal.prefix), None)
             self._emit(sender_asn, "W", withdrawal.prefix, (), now)
@@ -105,11 +110,21 @@ class RouteCollector:
             subscription.callback(self, vantage_asn, kind, prefix, as_path, when)
 
     def rib_snapshot(self) -> List[Tuple[int, Prefix, Tuple[int, ...]]]:
-        """Current table as (vantage, prefix, path) rows, deterministic order."""
-        return sorted(
+        """Current table as (vantage, prefix, path) rows, deterministic order.
+
+        Cached until the next table change; callers must not mutate the
+        returned list.
+        """
+        cached = self._snapshot
+        if cached is not None:
+            _C.snapshot_cache_hits += 1
+            return cached
+        snapshot = sorted(
             (vantage, prefix, path)
             for (vantage, prefix), path in self.table.items()
         )
+        self._snapshot = snapshot
+        return snapshot
 
     def __repr__(self) -> str:
         return (

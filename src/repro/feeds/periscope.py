@@ -23,6 +23,7 @@ from repro.errors import FeedError
 from repro.feeds.events import FeedEvent
 from repro.feeds.interest import FeedCallback, InterestIndex, Subscription
 from repro.net.prefix import Prefix
+from repro.perf import COUNTERS as _C
 from repro.sim.engine import Engine
 from repro.sim.latency import Delay, Shifted, Exponential, make_delay
 from repro.sim.rng import SeededRNG
@@ -62,6 +63,10 @@ class LookingGlass:
         self.max_backlog = int(max_backlog)
         self.rng = rng or SeededRNG(speaker.asn)
         self._next_allowed = 0.0
+        #: Per-target answer rows keyed by the Loc-RIB version they were
+        #: computed at: repeat polls between route changes reuse the rows
+        #: instead of re-walking the covered() subtree.
+        self._answer_cache: Dict[Prefix, Tuple[int, LGAnswer]] = {}
         self.queries_served = 0
         self.queries_dropped = 0
 
@@ -97,21 +102,34 @@ class LookingGlass:
         forward = self.query_delay.sample(self.rng) / 2.0
         backward = self.query_delay.sample(self.rng) / 2.0
         self._next_allowed = start + self.min_query_interval
+        self.engine.schedule_at(start + forward, self._execute, target, backward, callback)
 
-        def execute() -> None:
-            self.queries_served += 1
-            observed_at = self.engine.now
-            rows: LGAnswer = []
-            for prefix, route in self.speaker.loc_rib.covered(target):
+    def _execute(
+        self,
+        target: Prefix,
+        backward: float,
+        callback: Callable[[float, LGAnswer], None],
+    ) -> None:
+        """Answer a query at the router: cached rows if the RIB is unchanged."""
+        self.queries_served += 1
+        observed_at = self.engine.now
+        loc_rib = self.speaker.loc_rib
+        version = loc_rib.version
+        cached = self._answer_cache.get(target)
+        if cached is not None and cached[0] == version:
+            _C.snapshot_cache_hits += 1
+            rows = cached[1]
+        else:
+            rows = []
+            for prefix, route in loc_rib.covered(target):
                 path = route.as_path if route.as_path else (self.speaker.asn,)
                 rows.append((prefix, tuple(path)))
-            covering = self.speaker.loc_rib.resolve(target)
+            covering = loc_rib.resolve(target)
             if covering is not None and covering.prefix.length < target.length:
                 path = covering.as_path if covering.as_path else (self.speaker.asn,)
                 rows.append((covering.prefix, tuple(path)))
-            self.engine.schedule(backward, callback, observed_at, rows)
-
-        self.engine.schedule_at(start + forward, execute)
+            self._answer_cache[target] = (version, rows)
+        self.engine.schedule(backward, callback, observed_at, rows)
 
     def __repr__(self) -> str:
         return f"<LookingGlass {self.name} AS{self.asn}>"

@@ -383,9 +383,21 @@ class Network:
     ) -> None:
         """Loc-RIB change hook: refresh only the affected cache entries."""
         for cache in self._origin_caches.values():
-            if prefix.overlaps(cache.target):
-                cache.invalidations += 1
-                cache.set(speaker.asn, speaker.resolve_origin(cache.target))
+            # Inline of prefix.overlaps(cache.target) — this hook runs for
+            # every Loc-RIB change in the simulation, and almost every
+            # change (churn prefixes) misses every cache.
+            target = cache.target
+            if prefix.version != target.version:
+                continue
+            if prefix.length >= target.length:
+                if (prefix.value >> cache.cover_shift) != cache.cover_top:
+                    continue
+            else:
+                shift = target.bits - prefix.length
+                if (target.value >> shift) != (prefix.value >> shift):
+                    continue
+            cache.invalidations += 1
+            cache.set(speaker.asn, speaker.resolve_origin(cache.target))
 
     def origin_map(self, target: Union[Address, Prefix, str]) -> Dict[int, Optional[int]]:
         """Data-plane ground truth: every AS's selected origin for ``target``."""

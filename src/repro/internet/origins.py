@@ -28,11 +28,26 @@ class OriginCache:
     ``invalidations`` (single-speaker re-resolutions after a route change).
     """
 
-    __slots__ = ("target", "origins", "counts", "hits", "invalidations")
+    __slots__ = (
+        "target",
+        "cover_shift",
+        "cover_top",
+        "origins",
+        "counts",
+        "hits",
+        "invalidations",
+    )
 
     def __init__(self, target: Prefix):
         #: Normalised probe (an address target becomes its host prefix).
         self.target = target
+        #: Precomputed pieces of the "does a changed prefix overlap the
+        #: target" test, inlined by the network's route-change hook (it runs
+        #: for every Loc-RIB change in the simulation): a prefix at least as
+        #: long as the target overlaps iff its value, shifted down by
+        #: ``cover_shift``, equals ``cover_top``.
+        self.cover_shift = target.bits - target.length
+        self.cover_top = target.value >> self.cover_shift
         #: asn -> resolved origin (None when no route covers the target).
         self.origins: Dict[int, Optional[int]] = {}
         #: origin -> number of ASes currently resolving to it.

@@ -54,8 +54,15 @@ class OriginTracker:
         #: per-half divergence after de-aggregation is visible.
         depth = min(watch.length + max(0, probe_depth), watch.bits)
         self.probes: List[Address] = [child.network for child in watch.subnets(depth)]
+        #: Precomputed watch-overlap operands: ``_on_change`` fires on every
+        #: Loc-RIB change network-wide, so the overlap test is inlined bitwise.
+        self._watch_shift = watch.bits - watch.length
+        self._watch_top = watch.value >> self._watch_shift
         self.exclude: Set[int] = set(exclude_asns)
         self._current: Dict[Key, Optional[int]] = {}
+        #: Per-AS probe-value rows maintained incrementally on every flip,
+        #: so the fraction views never rebuild the whole map.
+        self._per_as: Dict[int, List[Optional[int]]] = {}
         #: State snapshot when each key began being tracked.
         self._initial: Dict[Key, Optional[int]] = {}
         #: Time each key began being tracked.
@@ -70,12 +77,15 @@ class OriginTracker:
         if speaker.asn in self.exclude:
             return
         now = self.network.engine.now
+        values: List[Optional[int]] = []
         for index, probe in enumerate(self.probes):
             key = (speaker.asn, index)
             value = self._value_fn(speaker, probe)
             self._current[key] = value
             self._initial[key] = value
             self._since[key] = now
+            values.append(value)
+        self._per_as[speaker.asn] = values
         speaker.on_best_change(self._on_change)
 
     def _on_change(
@@ -85,8 +95,17 @@ class OriginTracker:
         new_route: Optional[Route],
         old_route: Optional[Route],
     ) -> None:
-        if speaker.asn in self.exclude or not prefix.overlaps(self.watch):
+        watch = self.watch
+        if prefix.version != watch.version or speaker.asn in self.exclude:
             return
+        # Inline prefix.overlaps(watch): compare on the shorter length.
+        if prefix.length >= watch.length:
+            if (prefix.value >> self._watch_shift) != self._watch_top:
+                return
+        else:
+            shift = watch.bits - prefix.length
+            if (watch.value >> shift) != (prefix.value >> shift):
+                return
         now = self.network.engine.now
         for index, probe in enumerate(self.probes):
             key = (speaker.asn, index)
@@ -95,6 +114,7 @@ class OriginTracker:
             value = self._value_fn(speaker, probe)
             if self._current[key] != value:
                 self._current[key] = value
+                self._per_as[speaker.asn][index] = value
                 self.flips.append((now, speaker.asn, index, value))
 
     # ------------------------------------------------------------------- views
@@ -104,56 +124,52 @@ class OriginTracker:
 
     def origin_map(self) -> Dict[int, Tuple[Optional[int], ...]]:
         """Per AS: tuple of current origins, one per probe."""
-        return self._as_map(self._current)
-
-    def _as_map(
-        self, state: Dict[Key, Optional[int]]
-    ) -> Dict[int, Tuple[Optional[int], ...]]:
-        result: Dict[int, List[Optional[int]]] = {}
-        for (asn, index), origin in state.items():
-            result.setdefault(asn, [None] * len(self.probes))[index] = origin
-        return {asn: tuple(origins) for asn, origins in sorted(result.items())}
+        return {asn: tuple(values) for asn, values in sorted(self._per_as.items())}
 
     @staticmethod
-    def _fraction(
-        per_as: Dict[int, Tuple[Optional[int], ...]],
-        accepted: Set[int],
-        mode: str = "all",
-    ) -> float:
-        """Fraction of ASes matching ``accepted``.
+    def _mode_check(mode: str):
+        """The per-AS probe aggregator for a fraction ``mode``.
 
-        ``mode="all"`` — every probe must resolve into the set (full
-        recovery semantics); ``mode="any"`` — at least one probe does
+        ``mode="all"`` — every probe must resolve into the accepted set
+        (full recovery semantics); ``mode="any"`` — at least one probe does
         (partial capture semantics, e.g. a sub-prefix hijack that only
         steals one /24 of the owned space).
         """
-        if not per_as:
-            return 0.0
         if mode == "all":
-            good = sum(
-                1
-                for probe_origins in per_as.values()
-                if all(origin in accepted for origin in probe_origins)
-            )
-        elif mode == "any":
-            good = sum(
-                1
-                for probe_origins in per_as.values()
-                if any(origin in accepted for origin in probe_origins)
-            )
-        else:
-            raise ValueError(f"unknown fraction mode {mode!r}")
-        return good / len(per_as)
+            return all
+        if mode == "any":
+            return any
+        raise ValueError(f"unknown fraction mode {mode!r}")
 
     def fraction_routing_to(
         self, origins: Union[int, Set[int]], mode: str = "all"
     ) -> float:
         """Fraction of tracked ASes resolving into ``origins`` (see ``mode``)."""
         accepted = {origins} if isinstance(origins, int) else set(origins)
-        return self._fraction(self.origin_map(), accepted, mode)
+        check = self._mode_check(mode)
+        per_as = self._per_as
+        if not per_as:
+            return 0.0
+        good = sum(
+            1
+            for values in per_as.values()
+            if check(value in accepted for value in values)
+        )
+        return good / len(per_as)
 
     def all_route_to(self, origins: Union[int, Set[int]]) -> bool:
-        return self.fraction_routing_to(origins) == 1.0
+        """True when every probe of every tracked AS resolves into ``origins``.
+
+        Short-circuits on the first non-conforming AS instead of computing
+        the full fraction — this is polled in the convergence loops.
+        """
+        accepted = {origins} if isinstance(origins, int) else set(origins)
+        per_as = self._per_as
+        if not per_as:
+            return False
+        return all(
+            value in accepted for values in per_as.values() for value in values
+        )
 
     def ases_routing_to(self, origin: int) -> List[int]:
         """ASes with at least one probe resolving to ``origin``."""
@@ -186,21 +202,47 @@ class OriginTracker:
         mode: str = "all",
     ) -> List[Tuple[float, float]]:
         """(time, fraction in ``origins``) at ``start_time`` and after every
-        subsequent flip — the exact ground-truth recovery curve."""
+        subsequent flip — the exact ground-truth recovery curve.
+
+        The replay maintains per-AS probe rows and a running good-AS count,
+        so each flip costs O(probes) instead of rebuilding the whole AS map:
+        O(flips x probes) overall where the naive replay is O(flips x ASes).
+        """
         accepted = {origins} if isinstance(origins, int) else set(origins)
-        state = self._state_at(start_time)
-        series = [(start_time, self._fraction(self._as_map(state), accepted, mode))]
+        check = self._mode_check(mode)
+        num_probes = len(self.probes)
+        # Seed per-AS rows from the state at start_time (missing probes of a
+        # partially tracked AS read as None, as in the historical AS map).
+        per_as: Dict[int, List[Optional[int]]] = {}
+        for (asn, index), origin in self._state_at(start_time).items():
+            row = per_as.get(asn)
+            if row is None:
+                row = per_as[asn] = [None] * num_probes
+            row[index] = origin
+        good = sum(
+            1
+            for values in per_as.values()
+            if check(value in accepted for value in values)
+        )
+        series = [(start_time, good / len(per_as) if per_as else 0.0)]
         for flip_time, asn, index, origin in self.flips:
             if flip_time <= start_time:
                 continue
-            key = (asn, index)
-            # Keys first tracked mid-replay join with their initial value.
-            if key not in state and self._since.get(key, float("inf")) <= flip_time:
-                state[key] = self._initial[key]
-            state[key] = origin
-            series.append(
-                (flip_time, self._fraction(self._as_map(state), accepted, mode))
-            )
+            row = per_as.get(asn)
+            if row is None:
+                # An AS first tracked mid-replay joins the denominator here.
+                row = per_as[asn] = [None] * num_probes
+                if check(value in accepted for value in row):
+                    good += 1
+            if check(value in accepted for value in row):
+                row[index] = origin
+                if not check(value in accepted for value in row):
+                    good -= 1
+            else:
+                row[index] = origin
+                if check(value in accepted for value in row):
+                    good += 1
+            series.append((flip_time, good / len(per_as)))
         return series
 
     def first_time_all_route_to(

@@ -162,7 +162,7 @@ class Prefix:
     more-specifics, which the radix trie and de-aggregation code rely on.
     """
 
-    __slots__ = ("value", "length", "version", "_hash", "sort_key")
+    __slots__ = ("value", "length", "version", "_hash", "sort_key", "ikey")
 
     def __init__(self, value: int, length: int, version: int = 4):
         if version not in (4, 6):
@@ -182,6 +182,14 @@ class Prefix:
         #: compares.  Hot sorts (e.g. MRAI flush order) use it directly so
         #: ordering costs one tuple comparison instead of rich-compare calls.
         self.sort_key = (version, self.value, length)
+        #: Unique integer key (version, value and length packed into one
+        #: int).  Hot per-prefix tables key on this instead of the Prefix
+        #: itself: hashing an int happens entirely in C, where hashing a
+        #: Prefix costs a Python-level ``__hash__`` call per dict operation.
+        # Version bit on top so plain integer ordering of keys matches
+        # ``sort_key`` ordering (hot paths sort dirty-prefix ikeys with
+        # C-level int comparisons instead of a Python key function).
+        self.ikey = ((version == 6) << 137) | (self.value << 9) | (length << 1)
 
     @classmethod
     def parse(cls, text: str) -> "Prefix":

@@ -38,6 +38,10 @@ FIELDS: Tuple[str, ...] = (
     "announcements_built",
     "announcements_reused",
     "dirty_marks_skipped",
+    "decision_fast_path",
+    "decision_full_scans",
+    "deliveries_direct",
+    "snapshot_cache_hits",
     # interning
     "path_intern_hits",
     "path_intern_misses",

@@ -18,6 +18,7 @@ paper's three timings plus per-source and adoption detail.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.artemis import Artemis
@@ -174,6 +175,11 @@ class ExperimentResult:
         self.monitor_series: List[Tuple[float, float]] = []
         self.lg_queries: int = 0
         self.feed_events_checked: int = 0
+        #: Host wall-clock seconds per experiment phase (setup / phase1 /
+        #: phase2 / phase3) — profiling detail for the scaling benches.
+        #: Deliberately left out of :meth:`to_dict`: serialized results must
+        #: stay bit-identical across hosts and job counts.
+        self.phase_walls: Dict[str, float] = {}
 
     def to_dict(self) -> Dict:
         return {
@@ -224,6 +230,8 @@ class HijackExperiment:
         #: origin (the origin never changes in a type-1 hijack).
         self.path_tracker: Optional[OriginTracker] = None
         self.churn: Optional[BackgroundChurn] = None
+        #: Host wall-clock seconds spent building/simulating each phase.
+        self.phase_walls: Dict[str, float] = {}
         self._setup_done = False
 
     # ------------------------------------------------------------------- setup
@@ -232,8 +240,11 @@ class HijackExperiment:
         """Phase-0: build the world (idempotent)."""
         if self._setup_done:
             return
+        wall_start = time.perf_counter()
         cfg = self.config
-        graph = cfg.graph if cfg.graph is not None else generate_internet(
+        # A caller-supplied graph is copied: setup grafts the virtual ASes
+        # onto it, and suites rerun many seeds against one shared topology.
+        graph = cfg.graph.copy() if cfg.graph is not None else generate_internet(
             cfg.topology, seed=cfg.seed
         )
         network_config = cfg.network
@@ -335,6 +346,7 @@ class HijackExperiment:
                 value_fn=self._make_path_presence_fn(self.hijacker.asn),
             )
         self._setup_done = True
+        self.phase_walls["setup"] = time.perf_counter() - wall_start
 
     def _pick_helpers(self, count: int) -> List[int]:
         """Helper ASes: best-connected transit networks not already involved
@@ -418,6 +430,7 @@ class HijackExperiment:
         result.hijacker_asn = self.hijacker.asn
 
         # Phase-1: legitimate announcement, wait for convergence + LG baseline.
+        wall_mark = time.perf_counter()
         self.artemis.start()
         if self.churn is not None:
             self.churn.start()
@@ -439,6 +452,9 @@ class HijackExperiment:
             )
 
         # Phase-2: hijack and detection.
+        now_wall = time.perf_counter()
+        self.phase_walls["phase1"] = now_wall - wall_mark
+        wall_mark = now_wall
         hijack_time = engine.now
         result.hijack_time = hijack_time
         if cfg.forge_origin:
@@ -456,6 +472,10 @@ class HijackExperiment:
             result.per_source_delay = self.artemis.detection.per_source_delay(
                 alert, hijack_time
             )
+
+        now_wall = time.perf_counter()
+        self.phase_walls["phase2"] = now_wall - wall_mark
+        wall_mark = now_wall
 
         # Phase-3: mitigation (already triggered by the alert callback when
         # auto-mitigation is on) and recovery.  For forged-origin (type-1)
@@ -528,4 +548,6 @@ class HijackExperiment:
         result.monitor_series = self.artemis.monitoring.fraction_series(cfg.prefix)
         result.lg_queries = self.monitors.periscope.queries_sent
         result.feed_events_checked = self.artemis.detection.events_checked
+        self.phase_walls["phase3"] = time.perf_counter() - wall_mark
+        result.phase_walls = dict(self.phase_walls)
         return result

@@ -76,6 +76,23 @@ class ASGraph:
         except KeyError:
             raise TopologyError(f"AS{asn} is not in the topology") from None
 
+    def copy(self) -> "ASGraph":
+        """An independent structural copy (nodes, tags, and all links).
+
+        Experiments mutate the graph they are handed (the testbed grafts
+        virtual ASes onto it), so suites that share one pre-built topology
+        across seeds must give each run its own copy.  Node insertion order
+        is preserved, keeping every order-sensitive consumer deterministic
+        and identical to a run on the original.
+        """
+        clone = ASGraph()
+        for asn, node in self._nodes.items():
+            clone._nodes[asn] = ASNode(asn, node.tier, node.region, node.tags)
+            clone._providers[asn] = set(self._providers[asn])
+            clone._customers[asn] = set(self._customers[asn])
+            clone._peers[asn] = set(self._peers[asn])
+        return clone
+
     def __contains__(self, asn: int) -> bool:
         return asn in self._nodes
 

@@ -88,6 +88,35 @@ class TestProfileAndJobs:
         assert code == 0
         assert "perf counters" not in capsys.readouterr().out
 
+    def test_profile_json_experiment(self, tmp_path):
+        out = str(tmp_path / "profile.json")
+        code = main(
+            ["experiment", "--seed", "2", "--profile-json", out] + FAST_WORLD
+        )
+        assert code == 0
+        payload = json.loads(open(out).read())
+        assert payload["command"] == "experiment"
+        assert payload["elapsed_seconds"] > 0
+        assert payload["counters"]["events_processed"] > 0
+        assert payload["counters"]["updates_processed"] > 0
+        walls = payload["phase_walls"]
+        assert set(walls) == {"setup", "phase1", "phase2", "phase3"}
+        assert all(seconds >= 0 for seconds in walls.values())
+
+    def test_profile_json_suite_merges_workers(self, tmp_path):
+        out = str(tmp_path / "profile.json")
+        code = main(
+            ["suite", "--runs", "2", "--jobs", "2", "--profile-json", out]
+            + FAST_WORLD
+        )
+        assert code == 0
+        payload = json.loads(open(out).read())
+        assert payload["command"] == "suite"
+        # Worker counters are merged back into the parent's totals.
+        assert payload["counters"]["events_processed"] > 0
+        # Suite phase walls are summed across the runs.
+        assert payload["phase_walls"]["phase1"] > 0
+
     def test_suite_jobs_flag(self, tmp_path, capsys):
         out = str(tmp_path / "suite.json")
         code = main(

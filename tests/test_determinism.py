@@ -27,6 +27,14 @@ from repro.topology.generator import GeneratorConfig
 #: tree (pre-optimisation) and unchanged by the hot-path rework.
 GOLDEN_DIGEST = "25540de545722a0452b9109df6ff90ebcb9a84658fcdbef752ddda6bf11b3b31"
 
+#: Same idea at 400 ASes: big enough that the incremental decision process,
+#: export marking and MRAI batching are all exercised under real fan-out,
+#: small enough to run in CI.  Recorded before the Internet-scale hot-path
+#: work landed.
+GOLDEN_DIGEST_400 = (
+    "b55ade9b9b56229edef59174909b0e37314662757e1a5310c21a0cb757890975"
+)
+
 
 def _golden_config(seed: int = 5) -> ScenarioConfig:
     return ScenarioConfig(
@@ -69,10 +77,34 @@ def _outcome_digest(experiment: HijackExperiment, result) -> str:
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+def _golden_config_400() -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=7,
+        topology=GeneratorConfig(num_tier1=6, num_tier2=44, num_stubs=350),
+        churn=None,
+        churn_warmup=0.0,
+        baseline_settle=60.0,
+        monitors=dict(
+            num_ris_vantages=10,
+            num_bgpmon_vantages=6,
+            num_lgs=6,
+            lg_poll_interval=30.0,
+            num_batch_vantages=6,
+        ),
+    )
+
+
 def test_golden_scenario_digest_matches_seed_tree():
     experiment = HijackExperiment(_golden_config())
     result = experiment.run()
     assert _outcome_digest(experiment, result) == GOLDEN_DIGEST
+
+
+@pytest.mark.slow
+def test_golden_400as_digest_matches_seed_tree():
+    experiment = HijackExperiment(_golden_config_400())
+    result = experiment.run()
+    assert _outcome_digest(experiment, result) == GOLDEN_DIGEST_400
 
 
 def test_same_seed_twice_is_bit_identical():

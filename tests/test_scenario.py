@@ -103,3 +103,29 @@ class TestVariants:
         network = experiment.network
         experiment.setup()
         assert experiment.network is network
+
+    def test_phase_walls_recorded_but_not_serialized(self):
+        experiment = HijackExperiment(fast_scenario(seed=11))
+        result = experiment.run()
+        assert set(result.phase_walls) == {"setup", "phase1", "phase2", "phase3"}
+        assert all(seconds >= 0 for seconds in result.phase_walls.values())
+        # Host wall-clock must never leak into serialized results (they are
+        # compared bit-for-bit across job counts and machines).
+        assert "phase_walls" not in result.to_dict()
+
+    def test_shared_graph_not_mutated_and_reusable_across_seeds(self):
+        from repro.eval.experiments import run_artemis_suite
+        from repro.topology.generator import GeneratorConfig, generate_internet
+
+        graph = generate_internet(
+            GeneratorConfig(num_tier1=3, num_tier2=8, num_stubs=20), seed=2
+        )
+        size_before = len(graph)
+        template = fast_scenario(seed=0, graph=graph)
+        # Two seeds against ONE pre-built topology: each run grafts its
+        # virtual ASes onto a private copy, so the template's graph stays
+        # pristine and the second seed does not collide with the first.
+        results = run_artemis_suite(template, seeds=[1, 2])
+        assert len(results) == 2
+        assert all(result.mitigated for result in results)
+        assert len(graph) == size_before

@@ -87,6 +87,28 @@ class TestASGraph:
         assert graph.tier1() == [1]
         assert graph.stubs() == [3]
 
+    def test_copy_is_independent_and_equal(self):
+        graph = generate_internet(
+            GeneratorConfig(num_tier1=3, num_tier2=6, num_stubs=12), seed=3
+        )
+        clone = graph.copy()
+        assert clone.asns() == graph.asns()
+        assert sorted(clone.links()) == sorted(graph.links())
+        for asn in graph.asns():
+            original = graph.node(asn)
+            copied = clone.node(asn)
+            assert (copied.tier, copied.region) == (original.tier, original.region)
+            assert copied.tags == original.tags
+            assert copied is not original
+        # Mutating the copy (new AS, new link, tag edit) leaves the
+        # original untouched.
+        clone.add_as(64000, tier=3)
+        clone.add_customer_provider(64000, clone.tier1()[0])
+        clone.node(graph.asns()[0]).tags.add("mutated")
+        assert 64000 not in graph
+        assert "mutated" not in graph.node(graph.asns()[0]).tags
+        assert len(clone) == len(graph) + 1
+
     def test_validate_detects_provider_cycle(self):
         graph = ASGraph()
         for asn in (1, 2, 3):
