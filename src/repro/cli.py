@@ -26,6 +26,7 @@ from typing import List, Optional
 from repro.baselines.factories import FACTORIES
 from repro.baselines.runner import BaselineExperiment
 from repro.eval.experiments import (
+    liveness_summary,
     per_source_detection,
     run_artemis_suite,
     summarize_results,
@@ -62,6 +63,17 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
         "--helpers", type=int, default=0, help="outsourced-mitigation helper ASes"
     )
     parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="fault plan armed at the hijack instant (see repro.faults)",
+    )
+    parser.add_argument(
+        "--failover-to-batch",
+        action="store_true",
+        help="engage the batch archive while any live source is down",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="print simulation perf counters (events/sec etc.) when done",
@@ -87,6 +99,8 @@ def _scenario_from_args(args: argparse.Namespace, seed: Optional[int] = None) ->
         churn_warmup=0.0 if args.no_churn else 180.0,
         forge_origin=args.forge_origin,
         num_helpers=args.helpers,
+        faults=args.faults,
+        failover_to_batch=args.failover_to_batch,
     )
 
 
@@ -136,6 +150,33 @@ def cmd_suite(args: argparse.Namespace) -> int:
             title="detection delay per source",
         )
     )
+    if any(result.faults_injected for result in results):
+        rows = [
+            [
+                source,
+                row["runs"],
+                row["outages"],
+                row["downtime"],
+                row["max_staleness"],
+                row["detected_while_dead"],
+            ]
+            for source, row in sorted(liveness_summary(results).items())
+        ]
+        print()
+        print(
+            format_table(
+                [
+                    "source",
+                    "runs",
+                    "outages",
+                    "downtime (s)",
+                    "worst staleness (s)",
+                    "detected while dead",
+                ],
+                rows,
+                title="source health under faults",
+            )
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump([r.to_dict() for r in results], handle, indent=2)

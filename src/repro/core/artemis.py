@@ -30,6 +30,7 @@ class Artemis:
         sources: Sequence,
         periscope=None,
         helpers=None,
+        supervisor=None,
     ):
         """``sources`` are the live feeds for detection+monitoring.
 
@@ -38,6 +39,11 @@ class Artemis:
         streams are push-based, looking glasses must be asked.  ``helpers``
         is an optional :class:`~repro.core.mitigation.HelperFleet` for
         outsourced mitigation of not-fully-recoverable hijacks.
+        ``supervisor`` is an optional
+        :class:`~repro.feeds.health.SourceSupervisor` watching the feeds:
+        when given, it starts/stops with the application, alerts record
+        which sources were live, and detection+monitoring are registered
+        for failover onto any backup sources it holds.
         """
         self.config = config
         self.controller = controller
@@ -50,6 +56,12 @@ class Artemis:
         self.detection = DetectionService(config)
         self.mitigation = MitigationService(config, controller, helpers=helpers)
         self.monitoring = MonitoringService(config)
+        self.supervisor = supervisor
+        if supervisor is not None:
+            self.detection.attach_supervisor(supervisor)
+            owned = config.owned_prefixes
+            supervisor.register_failover(self.detection.handle_event, owned)
+            supervisor.register_failover(self.monitoring.handle_event, owned)
         self._alert_callbacks: List[Callable[[HijackAlert], None]] = []
         self._running = False
         self.detection.on_alert(self._handle_alert)
@@ -69,6 +81,8 @@ class Artemis:
         self.monitoring.start(self.sources)
         if self.periscope is not None:
             self.periscope.watch(self.config.owned_prefixes)
+        if self.supervisor is not None:
+            self.supervisor.start()
 
     def stop(self) -> None:
         if not self._running:
@@ -78,6 +92,8 @@ class Artemis:
         self.monitoring.stop()
         if self.periscope is not None:
             self.periscope.stop()
+        if self.supervisor is not None:
+            self.supervisor.stop()
 
     @property
     def running(self) -> bool:

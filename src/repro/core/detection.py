@@ -41,6 +41,12 @@ class DetectionService:
         #: can re-fire as a *new* alert after resolve + cooldown, and the
         #: fresh incident must not inherit the old one's evidence times.
         self.first_evidence: Dict[int, Dict[str, float]] = {}
+        #: Optional :class:`~repro.feeds.health.SourceSupervisor`; when
+        #: attached, each new incident records which sources were believed
+        #: live at alert time (the degraded-feed audit trail).
+        self.supervisor = None
+        #: Per alert id: sorted tuple of live source names at alert time.
+        self.live_at_alert: Dict[int, Tuple[str, ...]] = {}
         self.started = False
         self._subscriptions = []
 
@@ -49,6 +55,10 @@ class DetectionService:
     def on_alert(self, callback: AlertCallback) -> None:
         """Called once per *new* incident (not per evidence event)."""
         self._callbacks.append(callback)
+
+    def attach_supervisor(self, supervisor) -> None:
+        """Record source liveness (``live_at_alert``) for each new incident."""
+        self.supervisor = supervisor
 
     def start(self, sources: List) -> None:
         """Subscribe to every source, filtered to the owned prefixes.
@@ -89,6 +99,8 @@ class DetectionService:
         if event.source not in per_source:
             per_source[event.source] = event.delivered_at
         if is_new:
+            if self.supervisor is not None:
+                self.live_at_alert[alert.id] = self.supervisor.live_sources()
             for callback in self._callbacks:
                 callback(alert)
 

@@ -80,6 +80,11 @@ class MonitoringService:
         self._subscriptions = []
         self.started = False
         self.events_seen = 0
+        #: Events ingested per source name (degraded feeds show up as gaps).
+        self.events_by_source: Dict[str, int] = {}
+        #: Per source: (count, total realized feed lag) where lag is
+        #: ``delivered_at - observed_at`` — what the fault layer inflates.
+        self._lag_by_source: Dict[str, Tuple[int, float]] = {}
 
     def start(self, sources: List) -> None:
         """Subscribe to every source, filtered to the owned prefixes."""
@@ -118,6 +123,14 @@ class MonitoringService:
 
     def handle_event(self, event: FeedEvent) -> None:
         self.events_seen += 1
+        self.events_by_source[event.source] = (
+            self.events_by_source.get(event.source, 0) + 1
+        )
+        count, total = self._lag_by_source.get(event.source, (0, 0.0))
+        self._lag_by_source[event.source] = (
+            count + 1,
+            total + (event.delivered_at - event.observed_at),
+        )
         state = self.vantages.get(event.vantage_asn)
         if state is None:
             state = VantageState(event.vantage_asn)
@@ -128,13 +141,33 @@ class MonitoringService:
                 continue
             origin = self._representative_origin(state, owned)
             key = (event.vantage_asn, owned.prefix)
-            if self._last_effective.get(key, "unset") != origin:
+            previous = self._last_effective.get(key, "unset")
+            if previous == "unset" and origin is None:
+                # A withdraw that overtook the announcement it cancels (or
+                # any first contact reporting "no route") is not a flip:
+                # the vantage's effective view was unknown before and is
+                # still nothing — recording it would fabricate a transition
+                # for state that never existed.
+                continue
+            if previous != origin:
                 self._last_effective[key] = origin
                 self.transitions.append(
                     (event.delivered_at, event.vantage_asn, owned.prefix, origin)
                 )
 
     # ------------------------------------------------------------------ views
+
+    def mean_lag_by_source(self) -> Dict[str, float]:
+        """Realized mean feed lag (delivery − observation) per source.
+
+        Under a ``delay`` fault the affected source's mean visibly inflates
+        while the others stay put — the per-source degradation report.
+        """
+        return {
+            source: total / count
+            for source, (count, total) in sorted(self._lag_by_source.items())
+            if count
+        }
 
     def origin_by_vantage(self, owned_prefix: Prefix) -> Dict[int, Optional[int]]:
         """Current representative origin per vantage for ``owned_prefix``.

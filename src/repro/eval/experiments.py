@@ -141,3 +141,37 @@ def per_source_detection(
         if result.detection_delay is not None:
             sources.setdefault("combined", []).append(result.detection_delay)
     return {name: summarize(values) for name, values in sorted(sources.items())}
+
+
+def liveness_summary(results: Sequence[ExperimentResult]) -> Dict[str, Dict]:
+    """Per-source health totals across a (fault) suite.
+
+    For each source: runs it appeared in, total supervised outages and
+    downtime, worst staleness, and in how many runs the first alert fired
+    while this source was believed dead — the count that demonstrates
+    detection surviving the loss of a feed.
+    """
+    table: Dict[str, Dict] = {}
+    for result in results:
+        live = set(result.sources_live_at_alert)
+        detected = result.detection_delay is not None
+        for source, report in sorted(result.source_report.items()):
+            row = table.setdefault(
+                source,
+                {
+                    "runs": 0,
+                    "outages": 0,
+                    "downtime": 0.0,
+                    "max_staleness": 0.0,
+                    "detected_while_dead": 0,
+                },
+            )
+            row["runs"] += 1
+            row["outages"] += report.get("outages", 0)
+            row["downtime"] += report.get("downtime", 0.0)
+            row["max_staleness"] = max(
+                row["max_staleness"], report.get("max_staleness", 0.0)
+            )
+            if detected and result.sources_live_at_alert and source not in live:
+                row["detected_while_dead"] += 1
+    return table

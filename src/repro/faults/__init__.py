@@ -1,0 +1,25 @@
+"""Deterministic fault injection for the monitoring plane.
+
+The paper's robustness claim — detection delay is the *min over sources*
+and no single slow or dead feed breaks ARTEMIS — is only testable if the
+monitoring plane can actually be made to fail.  This package is the fault
+substrate: a :class:`~repro.faults.plan.FaultPlan` describes *what* breaks
+and *when* (relative to the hijack), and a
+:class:`~repro.faults.injector.FaultInjector` turns the plan into engine
+timers against the deployed feed infrastructure.
+
+Everything is seeded: the same scenario seed plus the same plan produces a
+bit-identical fault schedule, event log, and experiment outcome.
+"""
+
+from repro.faults.channel import ChannelFault
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import Fault, FaultPlan, load_plan
+
+__all__ = [
+    "ChannelFault",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "load_plan",
+]

@@ -1,0 +1,93 @@
+"""Per-message channel faults (loss / duplication / reordering).
+
+A :class:`ChannelFault` sits on a :class:`~repro.feeds.collector.RouteCollector`
+(the ``fault_channel`` attribute) and judges every arriving UPDATE while its
+window is active.  The verdict is a tuple of *extra delays*, one per copy to
+ingest: ``()`` drops the message, ``(0.0,)`` passes it through, ``(0.0, 0.0)``
+duplicates it, and a positive entry re-delivers that copy after the extra
+delay — which breaks the per-session FIFO order, i.e. reordering.
+
+The collector stays import-free of this package: it only calls
+``fault_channel.on_message(now)`` when the attribute is set, so the feed
+layer carries no fault-injection dependency in the no-fault configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.sim.rng import SeededRNG
+
+#: Verdict for an untouched message.
+_PASS: Tuple[float, ...] = (0.0,)
+
+
+class ChannelFault:
+    """Seeded loss/dup/reorder decisions for one collector's inbound channel."""
+
+    __slots__ = (
+        "rng",
+        "loss",
+        "dup",
+        "reorder",
+        "jitter",
+        "active_from",
+        "active_until",
+        "messages_judged",
+        "messages_dropped",
+        "messages_duplicated",
+        "messages_reordered",
+    )
+
+    def __init__(
+        self,
+        rng: SeededRNG,
+        loss: float = 0.0,
+        dup: float = 0.0,
+        reorder: float = 0.0,
+        jitter: float = 5.0,
+    ):
+        self.rng = rng
+        self.loss = float(loss)
+        self.dup = float(dup)
+        self.reorder = float(reorder)
+        self.jitter = float(jitter)
+        self.active_from = 0.0
+        self.active_until = float("inf")
+        self.messages_judged = 0
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_reordered = 0
+
+    def set_window(self, start: float, end: float) -> None:
+        self.active_from = float(start)
+        self.active_until = float(end)
+
+    def active(self, now: float) -> bool:
+        return self.active_from <= now < self.active_until
+
+    def on_message(self, now: float) -> Tuple[float, ...]:
+        """Judge one arriving message; returns the per-copy extra delays."""
+        if not self.active(now):
+            return _PASS
+        self.messages_judged += 1
+        # One draw per configured hazard, in a fixed order, so the stream of
+        # random numbers (and thus the whole run) is a pure function of the
+        # seed and the message arrival sequence.
+        if self.loss > 0.0 and self.rng.random() < self.loss:
+            self.messages_dropped += 1
+            return ()
+        copies = [0.0]
+        if self.dup > 0.0 and self.rng.random() < self.dup:
+            self.messages_duplicated += 1
+            copies.append(0.0)
+        if self.reorder > 0.0 and self.rng.random() < self.reorder:
+            self.messages_reordered += 1
+            copies[0] = self.rng.uniform(0.0, self.jitter)
+        return tuple(copies)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ChannelFault loss={self.loss} dup={self.dup} "
+            f"reorder={self.reorder} judged={self.messages_judged}>"
+        )

@@ -64,6 +64,14 @@ class BatchArchive:
         self.files_published = 0
         self.events_delivered = 0
         self.events_filtered = 0
+        #: Uniform source-transport protocol (see repro.feeds.health): while
+        #: down the consumer cannot fetch published files; their rows are
+        #: lost to it (archives keep the files, re-fetch is out of scope).
+        self.transport_up = True
+        self._down_until = 0.0
+        self.last_activity_at = 0.0
+        self.files_missed = 0
+        self.outages = 0
 
     def attach_collector(self, collector: RouteCollector) -> None:
         if collector in self.collectors:
@@ -86,6 +94,29 @@ class BatchArchive:
 
     def unsubscribe(self, subscription: Subscription) -> None:
         self._interest.discard(subscription)
+
+    # --------------------------------------------------------------- transport
+
+    def disconnect(self, down_until: Optional[float] = None) -> None:
+        """Make the archive unfetchable until ``down_until`` (None = open)."""
+        if not self.transport_up:
+            return
+        self.transport_up = False
+        self.outages += 1
+        self._down_until = float("inf") if down_until is None else float(down_until)
+
+    def reconnect(self) -> bool:
+        if self.transport_up:
+            return True
+        if self.engine.now < self._down_until:
+            return False
+        self.transport_up = True
+        self.last_activity_at = self.engine.now
+        return True
+
+    def restore_transport(self) -> None:
+        self._down_until = 0.0
+        self.reconnect()
 
     def _start(self) -> None:
         if self._started:
@@ -119,6 +150,10 @@ class BatchArchive:
     ) -> None:
         if not rows or not self._interest:
             return
+        if not self.transport_up:
+            self.files_missed += 1
+            return
+        self.last_activity_at = self.engine.now
         # Keep only rows at least one subscriber asked for; churn noise would
         # otherwise allocate events nobody receives.
         kept = [row for row in rows if self._interest.any_match(row[3])]
@@ -129,6 +164,10 @@ class BatchArchive:
         delivered_at = self.engine.now + self.fetch_delay.sample(self.rng)
 
         def deliver() -> None:
+            if not self.transport_up:
+                # The fetch that was in progress when the outage hit fails.
+                self.files_missed += 1
+                return
             for collector_name, vantage, kind, prefix, path, observed in rows:
                 event = FeedEvent(
                     source=self.name,

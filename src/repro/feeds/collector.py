@@ -55,6 +55,16 @@ class RouteCollector:
         self.vantage_asns: List[int] = []
         self.observations = 0
         self.observations_filtered = 0
+        #: False while the collector is crashed: arriving UPDATEs are lost
+        #: (counted in ``messages_lost_down``), the table is empty.
+        self.up = True
+        #: Optional per-message loss/dup/reorder judge installed by the
+        #: fault injector (:class:`repro.faults.channel.ChannelFault`).  The
+        #: collector only duck-calls ``on_message(now)`` so the feed layer
+        #: carries no import of the fault package.
+        self.fault_channel = None
+        self.messages_lost_down = 0
+        self.crashes = 0
 
     def subscribe(
         self,
@@ -83,7 +93,27 @@ class RouteCollector:
     # BGP endpoint interface ---------------------------------------------------
 
     def deliver(self, sender_asn: int, message: UpdateMessage) -> None:
-        """Receive an UPDATE from a vantage AS (Session delivery hook)."""
+        """Receive an UPDATE from a vantage AS (Session delivery hook).
+
+        When a fault channel is installed, every message is judged first:
+        it may be dropped, duplicated, or re-ingested after an extra delay
+        (reordering — the copy bypasses the session's FIFO guarantee).
+        """
+        fault = self.fault_channel
+        if fault is None:
+            self._ingest(sender_asn, message)
+            return
+        for extra_delay in fault.on_message(self.engine.now):
+            if extra_delay <= 0.0:
+                self._ingest(sender_asn, message)
+            else:
+                self.engine.schedule(extra_delay, self._ingest, sender_asn, message)
+
+    def _ingest(self, sender_asn: int, message: UpdateMessage) -> None:
+        """Apply one (possibly replayed) UPDATE to the table and fan out."""
+        if not self.up:
+            self.messages_lost_down += 1
+            return
         now = self.engine.now
         self._snapshot = None
         for withdrawal in message.withdrawals:
@@ -108,6 +138,31 @@ class RouteCollector:
             return
         for subscription in matched:
             subscription.callback(self, vantage_asn, kind, prefix, as_path, when)
+
+    # Crash / restart --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all state, stop ingesting (a collector box going down).
+
+        The injector also tears down the vantage sessions; :meth:`restart`
+        plus session re-establishment gives the full crash-restart cycle
+        with RIB re-sync.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self.crashes += 1
+        self.table.clear()
+        self._snapshot = None
+
+    def restart(self) -> None:
+        """Come back up with an empty table.
+
+        The table is repopulated by the vantage sessions' re-established
+        full-feed advertisement (``add_peer`` initial-advertisement
+        semantics), which is exactly a RIB re-sync.
+        """
+        self.up = True
 
     def rib_snapshot(self) -> List[Tuple[int, Prefix, Tuple[int, ...]]]:
         """Current table as (vantage, prefix, path) rows, deterministic order.

@@ -69,6 +69,9 @@ class LookingGlass:
         self._answer_cache: Dict[Prefix, Tuple[int, LGAnswer]] = {}
         self.queries_served = 0
         self.queries_dropped = 0
+        #: False while the LG (or its router's management plane) is down.
+        self.up = True
+        self.failures = 0
 
     @property
     def asn(self) -> int:
@@ -89,7 +92,15 @@ class LookingGlass:
         the rate limit queue up to ``max_backlog`` deep; past that they are
         dropped (counted in ``queries_dropped``), so the answer staleness
         stays bounded even when the client polls faster than the limit.
+
+        A dead LG drops the query immediately — against the same
+        ``queries_dropped`` accounting, *without* advancing the rate-limit
+        clock, so a recovering LG answers promptly instead of first paying
+        off a backlog of rate-limit slots its outage accumulated.
         """
+        if not self.up:
+            self.queries_dropped += 1
+            return
         start = max(self.engine.now, self._next_allowed)
         if (
             self.min_query_interval > 0.0
@@ -111,6 +122,10 @@ class LookingGlass:
         callback: Callable[[float, LGAnswer], None],
     ) -> None:
         """Answer a query at the router: cached rows if the RIB is unchanged."""
+        if not self.up:
+            # The LG died while the query was in flight: no answer.
+            self.queries_dropped += 1
+            return
         self.queries_served += 1
         observed_at = self.engine.now
         loc_rib = self.speaker.loc_rib
@@ -131,8 +146,20 @@ class LookingGlass:
             self._answer_cache[target] = (version, rows)
         self.engine.schedule(backward, callback, observed_at, rows)
 
+    def fail(self) -> None:
+        """Take the LG down: queries are dropped until :meth:`repair`."""
+        if not self.up:
+            return
+        self.up = False
+        self.failures += 1
+
+    def repair(self) -> None:
+        """Bring the LG back; queued rate-limit state was not accumulating."""
+        self.up = True
+
     def __repr__(self) -> str:
-        return f"<LookingGlass {self.name} AS{self.asn}>"
+        state = "up" if self.up else "down"
+        return f"<LookingGlass {self.name} AS{self.asn} {state}>"
 
 
 class PeriscopeAPI:
@@ -163,6 +190,23 @@ class PeriscopeAPI:
         self.queries_sent = 0
         self.events_delivered = 0
         self.events_filtered = 0
+        #: Last simulated time any LG answered a poll — the supervisor's
+        #: staleness clock for the Periscope source as a whole.
+        self.last_activity_at = 0.0
+
+    # --------------------------------------------------------------- transport
+
+    @property
+    def transport_up(self) -> bool:
+        """The source is reachable while at least one LG answers queries."""
+        return any(lg.up for lg in self.looking_glasses)
+
+    def reconnect(self) -> bool:
+        """Supervisor probe: polls resume by themselves once an LG is back."""
+        if not self.transport_up:
+            return False
+        self.last_activity_at = self.engine.now
+        return True
 
     def subscribe(
         self,
@@ -226,6 +270,8 @@ class PeriscopeAPI:
         self, lg: LookingGlass, watched: Prefix
     ) -> Callable[[float, LGAnswer], None]:
         def handle(observed_at: float, rows: LGAnswer) -> None:
+            # Any answer (even an unchanged one) is proof of transport life.
+            self.last_activity_at = self.engine.now
             seen_prefixes = set()
             for prefix, path in rows:
                 seen_prefixes.add(prefix)

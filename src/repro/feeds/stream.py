@@ -53,6 +53,25 @@ class StreamingService:
         self.events_published = 0
         self.events_delivered = 0
         self.events_filtered = 0
+        #: Transport liveness: while False, observations are not published
+        #: and in-flight publications are lost on delivery (a dropped
+        #: streaming connection loses whatever was on the wire).
+        self.transport_up = True
+        #: Earliest time a reconnect can succeed (set by the fault layer;
+        #: models the server side of an outage staying down for a window).
+        self._down_until = 0.0
+        #: Last simulated time the transport showed life (any observation
+        #: reaching the publication stage) — the supervisor's staleness clock.
+        self.last_activity_at = 0.0
+        #: Events lost to outages, split by where the outage caught them.
+        self.events_lost_down = 0
+        self.events_lost_in_flight = 0
+        self.outages = 0
+        #: Publication-latency inflation applied by the fault layer:
+        #: ``latency * delay_factor + delay_add``.  Neutral values are exact
+        #: float no-ops, so the unfaulted path is bit-identical.
+        self.delay_factor = 1.0
+        self.delay_add = 0.0
 
     def attach_collector(self, collector: RouteCollector) -> None:
         """Feed this stream from ``collector``'s observations."""
@@ -76,6 +95,40 @@ class StreamingService:
     def unsubscribe(self, subscription: Subscription) -> None:
         self._interest.discard(subscription)
 
+    # --------------------------------------------------------------- transport
+
+    def disconnect(self, down_until: Optional[float] = None) -> None:
+        """Drop the transport (fault injection / network outage).
+
+        ``down_until`` is the earliest simulated time :meth:`reconnect` can
+        succeed; ``None`` means the outage is open-ended until someone calls
+        :meth:`reconnect` after clearing it (or :meth:`restore_transport`).
+        """
+        if not self.transport_up:
+            return
+        self.transport_up = False
+        self.outages += 1
+        self._down_until = float("inf") if down_until is None else float(down_until)
+
+    def reconnect(self) -> bool:
+        """Attempt to re-establish the transport; True when it succeeded.
+
+        Fails while the outage window is still open — this is what the
+        supervisor's exponential-backoff retry loop probes.
+        """
+        if self.transport_up:
+            return True
+        if self.engine.now < self._down_until:
+            return False
+        self.transport_up = True
+        self.last_activity_at = self.engine.now
+        return True
+
+    def restore_transport(self) -> None:
+        """End the outage window and bring the transport straight back up."""
+        self._down_until = 0.0
+        self.reconnect()
+
     # ------------------------------------------------------------------ engine
 
     def _on_observation(
@@ -87,14 +140,20 @@ class StreamingService:
         as_path: Tuple[int, ...],
         observed_at: float,
     ) -> None:
+        if not self.transport_up:
+            # The consumer-side connection is down: the observation never
+            # reaches subscribers, and it does not count as transport life.
+            self.events_lost_down += 1
+            return
         self.events_published += 1
+        self.last_activity_at = self.engine.now
         # Server-side filter: skip the publication machinery entirely when
         # nobody asked for this prefix (background churn would otherwise
         # flood the event queue with undeliverable publications).
         if not self._interest.any_match(prefix):
             self.events_filtered += 1
             return
-        delay = self.latency.sample(self.rng)
+        delay = self.latency.sample(self.rng) * self.delay_factor + self.delay_add
         delivered_at = observed_at + delay
         event = FeedEvent(
             source=self.name,
@@ -108,6 +167,11 @@ class StreamingService:
         )
 
         def publish() -> None:
+            # An event still on the wire when the connection dropped is lost
+            # with it — subscribers only ever see a live transport's feed.
+            if not self.transport_up:
+                self.events_lost_in_flight += 1
+                return
             # Re-resolved at delivery time, so subscriptions added or
             # deactivated while the event was in flight are honoured.
             for subscription in self._interest.lookup(prefix):

@@ -25,7 +25,9 @@ from repro.core.artemis import Artemis
 from repro.core.config import ArtemisConfig, OwnedPrefix
 from repro.core.mitigation import HelperFleet
 from repro.errors import ExperimentError
+from repro.faults import FaultInjector, FaultPlan, load_plan
 from repro.feeds.deploy import MonitorDeployment, deploy_monitors
+from repro.feeds.health import SourceSupervisor
 from repro.internet.churn import BackgroundChurn, ChurnConfig
 from repro.internet.network import Network, NetworkConfig
 from repro.internet.tracker import OriginTracker
@@ -68,6 +70,9 @@ class ScenarioConfig:
         enabled_sources: Optional[Tuple[str, ...]] = None,
         monitor_grace: float = 150.0,
         rov_adoption: float = 0.0,
+        faults=None,
+        failover_to_batch: bool = False,
+        supervision: Optional[Dict] = None,
     ):
         self.prefix = Prefix.parse(prefix)
         #: What the hijacker announces; defaults to the owned prefix itself
@@ -140,6 +145,28 @@ class ScenarioConfig:
         #: How long to keep observing when full recovery is not expected
         #: (no auto-mitigation, or the /24 partial-recovery case).
         self.observation_window = float(observation_window)
+        #: Optional :class:`~repro.faults.plan.FaultPlan` (or its dict form,
+        #: or a path to a plan JSON file) armed at the hijack instant: fault
+        #: times are relative to the hijack announcement.  Plans are value
+        #: objects, so one plan is safely shared across a whole seed suite.
+        if faults is None or isinstance(faults, FaultPlan):
+            self.faults = faults
+        elif isinstance(faults, dict):
+            self.faults = FaultPlan.from_dict(faults)
+        elif isinstance(faults, str):
+            self.faults = load_plan(faults)
+        else:
+            raise ExperimentError(
+                f"faults must be a FaultPlan, dict, or path, got {type(faults)}"
+            )
+        #: Engage the batch archive as a standby source while any live
+        #: source is believed dead (interest failover).  Off by default so
+        #: the A1 source ablations stay clean.
+        self.failover_to_batch = bool(failover_to_batch)
+        #: Keyword arguments forwarded to
+        #: :class:`~repro.feeds.health.SourceSupervisor` (check interval,
+        #: staleness timeout, backoff parameters).
+        self.supervision = dict(supervision or {})
 
 
 class ExperimentResult:
@@ -160,8 +187,12 @@ class ExperimentResult:
         self.completion_delay: Optional[float] = None
         #: Hijack → fully mitigated (paper: ≈6 min).
         self.total_time: Optional[float] = None
-        #: Detection delay each individual source achieved.
+        #: Detection delay each individual source achieved *by alert time*
+        #: (the sources that had reported when the alert fired).
         self.per_source_delay: Dict[str, float] = {}
+        #: Same table at the end of the run, once slower feeds flushed:
+        #: every source that eventually produced first evidence.
+        self.per_source_delay_final: Dict[str, float] = {}
         #: Peak fraction of ASes that had (partly) switched to the hijacker.
         self.hijack_fraction_peak: float = 0.0
         #: Fraction still on the hijacker at the end (>0 for /24 cases).
@@ -175,6 +206,18 @@ class ExperimentResult:
         self.monitor_series: List[Tuple[float, float]] = []
         self.lg_queries: int = 0
         self.feed_events_checked: int = 0
+        #: Sources the supervisor believed live when the first alert fired
+        #: (empty when nothing was detected).
+        self.sources_live_at_alert: List[str] = []
+        #: Per-source health summary at the end of the run: state, outage
+        #: count, supervised downtime, worst staleness, reconnect attempts.
+        self.source_report: Dict[str, Dict] = {}
+        #: Realized mean feed lag (delivery − observation) per source.
+        self.source_lag: Dict[str, float] = {}
+        #: Fault-injector actions applied, and the full (time, action,
+        #: target) audit log — empty without a fault plan.
+        self.faults_injected: int = 0
+        self.fault_log: List[List] = []
         #: Host wall-clock seconds per experiment phase (setup / phase1 /
         #: phase2 / phase3) — profiling detail for the scaling benches.
         #: Deliberately left out of :meth:`to_dict`: serialized results must
@@ -193,6 +236,7 @@ class ExperimentResult:
             "completion_delay": self.completion_delay,
             "total_time": self.total_time,
             "per_source_delay": dict(self.per_source_delay),
+            "per_source_delay_final": dict(self.per_source_delay_final),
             "hijack_fraction_peak": self.hijack_fraction_peak,
             "residual_hijack_fraction": self.residual_hijack_fraction,
             "mitigated": self.mitigated,
@@ -200,6 +244,11 @@ class ExperimentResult:
             "strategy": self.strategy,
             "lg_queries": self.lg_queries,
             "feed_events_checked": self.feed_events_checked,
+            "sources_live_at_alert": list(self.sources_live_at_alert),
+            "source_report": dict(self.source_report),
+            "source_lag": dict(self.source_lag),
+            "faults_injected": self.faults_injected,
+            "fault_log": [list(entry) for entry in self.fault_log],
         }
 
     def __repr__(self) -> str:
@@ -225,6 +274,8 @@ class HijackExperiment:
         self.monitors: Optional[MonitorDeployment] = None
         self.controller: Optional[BGPController] = None
         self.artemis: Optional[Artemis] = None
+        self.supervisor: Optional[SourceSupervisor] = None
+        self.injector: Optional[FaultInjector] = None
         self.tracker: Optional[OriginTracker] = None
         #: Only for forged-origin runs: tracks hijacker-on-path instead of
         #: origin (the origin never changes in a type-1 hijack).
@@ -331,13 +382,31 @@ class HijackExperiment:
         periscope = (
             self.monitors.periscope if "periscope" in cfg.enabled_sources else None
         )
+        # Liveness supervision over exactly the sources ARTEMIS consumes;
+        # it adds no randomness and no feed traffic, so the no-fault run
+        # stays bit-identical with supervision always on.
+        supervised = list(streams)
+        if periscope is not None:
+            supervised.append(periscope)
+        self.supervisor = SourceSupervisor(
+            self.network.engine, supervised, **cfg.supervision
+        )
+        if cfg.failover_to_batch and self.monitors.batch is not None:
+            self.supervisor.add_backup(self.monitors.batch)
         self.artemis = Artemis(
             artemis_config,
             self.controller,
             sources=streams,
             periscope=periscope,
             helpers=helpers,
+            supervisor=self.supervisor,
         )
+        if cfg.faults is not None:
+            # Targets are validated now (setup time); the plan is armed at
+            # the hijack instant in :meth:`run`.
+            self.injector = FaultInjector(
+                self.network, self.monitors, cfg.faults, seed=cfg.seed
+            )
         if cfg.forge_origin:
             self.path_tracker = OriginTracker(
                 self.network,
@@ -457,6 +526,11 @@ class HijackExperiment:
         wall_mark = now_wall
         hijack_time = engine.now
         result.hijack_time = hijack_time
+        if self.injector is not None:
+            # Fault times are relative to the hijack; arming first gives
+            # at=0 faults an earlier event sequence than the announcement,
+            # so "dead from the very start" means exactly that.
+            self.injector.arm(hijack_time)
         if cfg.forge_origin:
             # Type-1 attack: claim direct adjacency to the victim's origin.
             self.hijacker.announce_forged(cfg.hijack_prefix, (self.victim.asn,))
@@ -471,6 +545,9 @@ class HijackExperiment:
             result.alert_type = alert.type.value
             result.per_source_delay = self.artemis.detection.per_source_delay(
                 alert, hijack_time
+            )
+            result.sources_live_at_alert = list(
+                self.artemis.detection.live_at_alert.get(alert.id, ())
             )
 
         now_wall = time.perf_counter()
@@ -548,6 +625,18 @@ class HijackExperiment:
         result.monitor_series = self.artemis.monitoring.fraction_series(cfg.prefix)
         result.lg_queries = self.monitors.periscope.queries_sent
         result.feed_events_checked = self.artemis.detection.events_checked
+        result.source_report = self.supervisor.report()
+        result.source_lag = self.artemis.monitoring.mean_lag_by_source()
+        if detected:
+            # Re-read the evidence table now that the slower feeds flushed:
+            # the alert-time snapshot above only has the sources that had
+            # already reported when the alert fired.
+            result.per_source_delay_final = self.artemis.detection.per_source_delay(
+                alert, hijack_time
+            )
+        if self.injector is not None:
+            result.faults_injected = self.injector.faults_applied
+            result.fault_log = [list(entry) for entry in self.injector.log]
         self.phase_walls["phase3"] = time.perf_counter() - wall_mark
         result.phase_walls = dict(self.phase_walls)
         return result

@@ -237,3 +237,91 @@ class TestBacklogCap:
         assert api.queries_dropped == lgs[0].queries_dropped
         assert api.queries_dropped > 0
         assert "dropped" in repr(api)
+
+
+class TestDeadLookingGlass:
+    def test_dead_lg_counts_drops(self, net7):
+        # Regression: queries to a dead LG must fail fast into the
+        # queries_dropped accounting instead of queueing forever.
+        lg = make_lg(net7, 3, min_interval=10.0)
+        lg.fail()
+        answers = []
+        for _ in range(5):
+            lg.query(P("10.0.0.0/23"), lambda when, rows: answers.append(rows))
+        net7.run_for(60.0)
+        assert answers == []
+        assert lg.queries_dropped == 5
+        assert lg.queries_served == 0
+        assert lg.failures == 1
+
+    def test_dead_drops_do_not_advance_rate_clock(self, net7):
+        # The outage must not accumulate rate-limit slots: a recovering LG
+        # answers promptly instead of first paying off its downtime.
+        lg = make_lg(net7, 3, min_interval=10.0)
+        lg.fail()
+        for _ in range(5):
+            lg.query(P("10.0.0.0/23"), lambda when, rows: None)
+        assert lg._next_allowed == 0.0
+        lg.repair()
+        times = []
+        lg.query(P("10.0.0.0/23"), lambda when, rows: times.append(when))
+        net7.run_for(5.0)
+        assert len(times) == 1
+        assert times[0] < 1.0  # answered immediately, no backlog to drain
+
+    def test_query_in_flight_when_lg_dies_is_lost(self, net7):
+        lg = make_lg(net7, 3, query_delay=2.0)
+        answers = []
+        lg.query(P("10.0.0.0/23"), lambda when, rows: answers.append(rows))
+        lg.fail()  # dies before the query reaches the router
+        net7.run_for(10.0)
+        assert answers == []
+        assert lg.queries_dropped == 1
+
+    def test_one_dead_lg_does_not_wedge_fanout(self, net7):
+        # Regression: the poll scheduler keeps serving events from the
+        # surviving LGs while a dead one eats its queries.
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        lgs = [make_lg(net7, 3), make_lg(net7, 4)]
+        lgs[0].fail()
+        api = PeriscopeAPI(net7.engine, lgs, poll_interval=20.0, rng=SeededRNG(0))
+        events = []
+        api.subscribe(events.append)
+        api.watch([P("10.0.0.0/23")])
+        net7.run_for(45.0)
+        api.stop()
+        assert api.transport_up  # one LG still answers
+        assert lgs[0].queries_dropped > 0
+        assert events  # fan-out not wedged
+        assert {e.vantage_asn for e in events} == {4}
+
+    def test_all_dead_takes_transport_down(self, net7):
+        lgs = [make_lg(net7, 3), make_lg(net7, 4)]
+        api = PeriscopeAPI(net7.engine, lgs, poll_interval=20.0, rng=SeededRNG(0))
+        for lg in lgs:
+            lg.fail()
+        assert not api.transport_up
+        assert not api.reconnect()  # supervisor probe fails while all dead
+        lgs[1].repair()
+        assert api.transport_up
+        assert api.reconnect()
+
+    def test_repaired_lg_serves_next_poll_round(self, net7):
+        net7.announce(6, "10.0.0.0/23")
+        net7.run_until_converged()
+        lg = make_lg(net7, 3)
+        lg.fail()
+        api = PeriscopeAPI(net7.engine, [lg], poll_interval=20.0, rng=SeededRNG(0))
+        events = []
+        api.subscribe(events.append)
+        api.watch([P("10.0.0.0/23")])
+        net7.run_for(45.0)
+        assert events == []
+        dropped = lg.queries_dropped
+        assert dropped > 0
+        lg.repair()
+        net7.run_for(45.0)
+        api.stop()
+        assert events  # polls resumed by themselves after repair
+        assert lg.queries_dropped == dropped  # no further drops once up
