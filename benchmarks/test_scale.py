@@ -51,7 +51,9 @@ EXPECTED = {
     "mitigated": True,
     "detection_delay": 44.05279270905288,
     "total_time": 234.99878615983994,
-    "events_processed": 98583,
+    # 98583 until the feed-liveness layer landed; its supervisor probes and
+    # transport bookkeeping fire a few extra (behaviour-neutral) events.
+    "events_processed": 98739,
     "updates_processed": 32120,
 }
 

@@ -95,6 +95,11 @@ class Announcement:
         """True if ``asn`` already appears in the AS path (RFC 4271 loop check)."""
         return int(asn) in self.as_path
 
+    def __deepcopy__(self, memo) -> "Announcement":
+        # Immutable value object: checkpoint forks share announcements
+        # (Adj-RIB-Out tables, in-flight updates) structurally.
+        return self
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Announcement):
             return NotImplemented
@@ -120,6 +125,9 @@ class Withdrawal:
 
     def __init__(self, prefix: Prefix):
         self.prefix = prefix
+
+    def __deepcopy__(self, memo) -> "Withdrawal":
+        return self
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Withdrawal):
@@ -159,6 +167,10 @@ class UpdateMessage:
                     f"announcement {announcement} does not start with sender "
                     f"AS {self.sender_asn}"
                 )
+
+    def __deepcopy__(self, memo) -> "UpdateMessage":
+        # Tuples of shared immutable parts — safe to share whole.
+        return self
 
     @property
     def size(self) -> int:

@@ -36,6 +36,50 @@ class AdjRibIn:
     def __init__(self) -> None:
         self._by_prefix: Dict[int, Dict[int, Route]] = {}
         self._by_peer: Dict[int, Dict[int, Route]] = {}
+        #: ikeys of ``_by_prefix`` rows still shared with a checkpoint master
+        #: (see :meth:`__deepcopy__`); empty on every non-forked RIB, so the
+        #: hot-path membership tests reduce to one falsy check.
+        self._shared_rows: set = set()
+        #: peer ASNs whose ``_by_peer`` row is still shared with the master.
+        self._shared_peers: set = set()
+
+    def __deepcopy__(self, memo) -> "AdjRibIn":
+        """Copy-on-write fork for checkpoint restore.
+
+        Only the two outer dicts are copied; the inner per-prefix and
+        per-peer rows stay shared with the (frozen) master and are marked in
+        ``_shared_rows`` / ``_shared_peers``.  Every write path un-shares a
+        row by copying it the first time churn touches it, so a restored
+        1000-AS Internet forks O(changed prefixes) dicts instead of the full
+        RIB population.  The :class:`Route` values are immutable and shared
+        unconditionally.
+        """
+        clone = AdjRibIn.__new__(AdjRibIn)
+        memo[id(self)] = clone
+        clone._by_prefix = dict(self._by_prefix)
+        clone._by_peer = dict(self._by_peer)
+        clone._shared_rows = set(self._by_prefix)
+        clone._shared_peers = set(self._by_peer)
+        # The speaker caches ``prefix_table()`` (and ``import_tables`` hands
+        # out ``_by_peer`` rows); route those cached aliases to the clone's
+        # tables when the speaker is copied in the same deepcopy pass.
+        memo[id(self._by_prefix)] = clone._by_prefix
+        memo[id(self._by_peer)] = clone._by_peer
+        return clone
+
+    def _unshare_row(self, ikey: int) -> Dict[int, Route]:
+        """Privatise one shared ``_by_prefix`` row (first write after fork)."""
+        row = self._by_prefix[ikey] = dict(self._by_prefix[ikey])
+        self._shared_rows.discard(ikey)
+        _C.cow_row_forks += 1
+        return row
+
+    def _unshare_peer(self, peer_asn: int) -> Dict[int, Route]:
+        """Privatise one shared ``_by_peer`` row (first write after fork)."""
+        row = self._by_peer[peer_asn] = dict(self._by_peer[peer_asn])
+        self._shared_peers.discard(peer_asn)
+        _C.cow_row_forks += 1
+        return row
 
     def insert(self, route: Route) -> Optional[Route]:
         """Store ``route`` (implicit withdraw of the peer's previous route).
@@ -48,11 +92,15 @@ class AdjRibIn:
         by_peer_routes = self._by_prefix.get(ikey)
         if by_peer_routes is None:
             by_peer_routes = self._by_prefix[ikey] = {}
+        elif self._shared_rows and ikey in self._shared_rows:
+            by_peer_routes = self._unshare_row(ikey)
         previous = by_peer_routes.get(peer)
         by_peer_routes[peer] = route
         peer_routes = self._by_peer.get(peer)
         if peer_routes is None:
             peer_routes = self._by_peer[peer] = {}
+        elif self._shared_peers and peer in self._shared_peers:
+            peer_routes = self._unshare_peer(peer)
         peer_routes[ikey] = route
         return previous
 
@@ -66,12 +114,24 @@ class AdjRibIn:
         lets the speaker inline :meth:`insert` without re-resolving the
         peer's row per announcement.  Both tables are keyed by
         ``prefix.ikey``; callers must keep them in lockstep exactly as
-        :meth:`insert` does.
+        :meth:`insert` does.  After a checkpoint fork the caller must also
+        honour :meth:`shared_rows` before writing a ``by_prefix`` row; the
+        peer row handed out here is un-shared eagerly (one copy per sender,
+        not per announcement).
         """
         peer_routes = self._by_peer.get(peer_asn)
         if peer_routes is None:
             peer_routes = self._by_peer[peer_asn] = {}
+        elif self._shared_peers and peer_asn in self._shared_peers:
+            peer_routes = self._unshare_peer(peer_asn)
         return self._by_prefix, peer_routes
+
+    def shared_rows(self) -> set:
+        """The live set of ``_by_prefix`` ikeys still shared with a checkpoint
+        master — empty (falsy) unless this RIB was forked from one.  Callers
+        inlining :meth:`insert` writes must copy a row listed here first;
+        :meth:`_unshare_row` does both steps."""
+        return self._shared_rows
 
     def prefix_table(self) -> Dict[int, Dict[int, Route]]:
         """The live ``ikey -> {peer_asn: route}`` table (never rebound).
@@ -88,18 +148,33 @@ class AdjRibIn:
         candidates = self._by_prefix.get(ikey)
         removed = None
         if candidates is not None:
+            if self._shared_rows and ikey in self._shared_rows:
+                if peer_asn not in candidates:
+                    candidates = None  # nothing to remove; keep the row shared
+                else:
+                    candidates = self._unshare_row(ikey)
+        if candidates is not None:
             removed = candidates.pop(peer_asn, None)
             if not candidates:
                 del self._by_prefix[ikey]
+                self._shared_rows.discard(ikey)
         peer_routes = self._by_peer.get(peer_asn)
-        if peer_routes is not None:
+        if peer_routes is not None and ikey in peer_routes:
+            if self._shared_peers and peer_asn in self._shared_peers:
+                peer_routes = self._unshare_peer(peer_asn)
             # The emptied row is kept (bounded by the number of peers ever
             # seen): :meth:`import_tables` hands out long-lived references.
             peer_routes.pop(ikey, None)
         return removed
 
     def candidates(self, prefix: Prefix) -> List[Route]:
-        """All learned routes for ``prefix`` (decision-process input)."""
+        """All learned routes for ``prefix``, as an owned list.
+
+        Convenience/API form — the copy makes the result safe to hold across
+        mutations.  Hot paths (the decision process, LG queries) use
+        :meth:`candidates_view` or :meth:`prefix_table` instead; as of the
+        warm-start work no simulation hot path calls this.
+        """
         return list(self._by_prefix.get(prefix.ikey, _EMPTY).values())
 
     def candidates_view(self, prefix: Prefix) -> Iterable[Route]:
@@ -177,18 +252,112 @@ class LocRib:
         #: state on it instead of re-reading the table.
         self._version = 0
         self._snapshot: Optional[Tuple[Route, ...]] = None
+        #: True while ``_trie`` / ``_nodes`` alias a frozen checkpoint
+        #: master's structures (see :meth:`__deepcopy__`).
+        self._shared_trie = False
+        #: ``(version, length) -> live entry count`` — the distinct prefix
+        #: lengths present, maintained on install/remove.  :meth:`resolve`
+        #: longest-matches by probing ``_exact`` once per present length
+        #: (longest first) instead of walking the trie, so the hottest
+        #: longest-prefix query (the origin tracker fires it on every
+        #: best-route change network-wide) never touches — or, on a
+        #: checkpoint fork, materializes — the trie.
+        self._len_counts: Dict[Tuple[int, int], int] = {}
+        #: Lazily rebuilt ``ip_version -> lengths, descending`` cache over
+        #: ``_len_counts`` keys; invalidated when a length appears/vanishes.
+        self._lengths_cache: Optional[Dict[int, List[int]]] = None
 
     @property
     def version(self) -> int:
         """Monotone stamp incremented on every table change."""
         return self._version
 
+    def __deepcopy__(self, memo) -> "LocRib":
+        """Copy-on-write fork for checkpoint restore.
+
+        The exact-match dict is copied eagerly (one dict of shared Route
+        references per speaker — cheap, and it lets the rebound ``get_ikey``
+        keep its zero-indirection form), while the radix trie and its node
+        cache stay shared with the frozen master until the first *trie read*
+        (resolve / covered / routes / snapshot) privatises them via
+        :meth:`_materialize`.  Writes while shared maintain only ``_exact``
+        — the authoritative table the trie is rebuilt from — so the ~98% of
+        ASes whose trie is never queried during an attack (a hijack writes
+        into *every* Loc-RIB, but only monitors, looking glasses and batch
+        vantages ever do longest-prefix matches) never pay for a rebuild.
+        """
+        clone = LocRib.__new__(LocRib)
+        memo[id(self)] = clone
+        clone._exact = dict(self._exact)
+        # NOT ``copy.deepcopy(self.get_ikey)``: a bound built-in method is
+        # atomic under deepcopy, so the default path would silently keep the
+        # fork reading the *master's* table.  Rebind against the clone's.
+        clone.get_ikey = clone._exact.get
+        clone._trie = self._trie
+        clone._nodes = self._nodes
+        clone._version = self._version
+        clone._snapshot = self._snapshot
+        clone._shared_trie = True
+        clone._len_counts = dict(self._len_counts)
+        # The cache dict is only ever *replaced* (never mutated in place),
+        # so sharing the current one is safe.
+        clone._lengths_cache = self._lengths_cache
+        return clone
+
+    def _materialize(self) -> None:
+        """Privatise the trie on the first post-fork trie *read*.
+
+        Rebuilt from ``_exact`` (the authoritative table, which post-fork
+        writes have kept current); the master keeps its empty placeholder
+        nodes, the clone starts without them.  Does NOT bump ``_version``:
+        the table content is unchanged, and derived caches keyed on the
+        version (looking-glass answers) stay valid.
+        """
+        trie: PrefixTrie[Route] = PrefixTrie()
+        nodes: Dict[int, object] = {}
+        for route in self._exact.values():
+            nodes[route.prefix.ikey] = trie.insert(route.prefix, route)
+        self._trie = trie
+        self._nodes = nodes
+        self._shared_trie = False
+        _C.cow_table_forks += 1
+
     def get(self, prefix: Prefix) -> Optional[Route]:
         """The installed best route for exactly ``prefix``, if any."""
         return self._exact.get(prefix.ikey)
 
+    def _note_added(self, prefix: Prefix) -> None:
+        key = (prefix.version, prefix.length)
+        count = self._len_counts.get(key)
+        if count:
+            self._len_counts[key] = count + 1
+        else:
+            self._len_counts[key] = 1
+            self._lengths_cache = None
+
+    def _note_removed(self, prefix: Prefix) -> None:
+        key = (prefix.version, prefix.length)
+        count = self._len_counts[key] - 1
+        if count:
+            self._len_counts[key] = count
+        else:
+            del self._len_counts[key]
+            self._lengths_cache = None
+
     def install(self, route: Route) -> Optional[Route]:
         """Install ``route`` as best for its prefix; returns the previous best."""
+        if self._shared_trie:
+            # Trie maintenance is deferred until a trie read materializes
+            # it from ``_exact`` — a hijack writes into every Loc-RIB, and
+            # rebuilding ~1000 tries per fork would dominate the warm run.
+            ikey = route.prefix.ikey
+            previous = self._exact.get(ikey)
+            self._exact[ikey] = route
+            if previous is None:
+                self._note_added(route.prefix)
+            self._version += 1
+            self._snapshot = None
+            return previous
         prefix = route.prefix
         ikey = prefix.ikey
         node = self._nodes.get(ikey)
@@ -208,6 +377,8 @@ class LocRib:
         else:
             previous = None
             self._nodes[ikey] = self._trie.insert(prefix, route)
+        if previous is None:
+            self._note_added(prefix)
         self._exact[ikey] = route
         self._version += 1
         self._snapshot = None
@@ -215,12 +386,20 @@ class LocRib:
 
     def remove(self, prefix: Prefix) -> Optional[Route]:
         """Remove the best route for ``prefix``; returns it if present."""
+        if self._shared_trie:
+            removed = self._exact.pop(prefix.ikey, None)
+            if removed is not None:
+                self._note_removed(prefix)
+                self._version += 1
+                self._snapshot = None
+            return removed
         ikey = prefix.ikey
         removed = self._exact.pop(ikey, None)
         if removed is not None:
             # Keep the node cached as an empty placeholder: churn cycles on
             # the same prefix toggle a flag instead of re-walking the trie.
             self._trie.clear_value(self._nodes[ikey])
+            self._note_removed(prefix)
             self._version += 1
             self._snapshot = None
         return removed
@@ -235,27 +414,72 @@ class LocRib:
         if cached is not None:
             _C.snapshot_cache_hits += 1
             return cached
+        if self._shared_trie:
+            self._materialize()
         snapshot = tuple(self._trie.values())
         self._snapshot = snapshot
         return snapshot
+
+    def _lengths_desc(self, version: int) -> List[int]:
+        cache = self._lengths_cache
+        if cache is None:
+            cache = self._lengths_cache = {
+                4: sorted(
+                    (l for v, l in self._len_counts if v == 4), reverse=True
+                ),
+                6: sorted(
+                    (l for v, l in self._len_counts if v == 6), reverse=True
+                ),
+            }
+        return cache[version]
 
     def resolve(self, target: Union[Address, Prefix, str]) -> Optional[Route]:
         """Data-plane resolution: most specific route covering ``target``.
 
         This is where de-aggregation wins: once a /24 best route is
         installed, ``resolve`` prefers it over the covering /23.
+
+        Served from the exact-match table: one int-keyed probe per prefix
+        length present (longest first, never longer than a ``Prefix``
+        target).  A real table holds a handful of distinct lengths, so this
+        beats a bit-by-bit trie walk — and on a checkpoint fork it leaves
+        the shared trie untouched, which is what keeps warm-started runs
+        from materializing a trie in every AS the hijack reaches.
         """
-        match = self._trie.longest_match(target)
-        return match[1] if match else None
+        if isinstance(target, str):
+            target = Prefix.parse(target) if "/" in target else Address.parse(target)
+        if isinstance(target, Prefix):
+            value, target_length = target.value, target.length
+        else:
+            value, target_length = target.value, target.bits
+        version, bits = target.version, target.bits
+        version_bit = (version == 6) << 137
+        exact_get = self._exact.get
+        for length in self._lengths_desc(version):
+            if length > target_length:
+                continue
+            shift = bits - length
+            network = (value >> shift) << shift if length else 0
+            # Prefix.ikey layout: version bit | network value | length.
+            route = exact_get(version_bit | (network << 9) | (length << 1))
+            if route is not None:
+                return route
+        return None
 
     def covered(self, prefix: Prefix) -> Iterator[Tuple[Prefix, Route]]:
         """Installed routes equal to or more specific than ``prefix``."""
+        if self._shared_trie:
+            self._materialize()
         return self._trie.covered(prefix)
 
     def routes(self) -> Iterator[Route]:
+        if self._shared_trie:
+            self._materialize()
         return self._trie.values()
 
     def prefixes(self) -> Iterator[Prefix]:
+        if self._shared_trie:
+            self._materialize()
         return self._trie.keys()
 
     def __contains__(self, prefix: Prefix) -> bool:

@@ -92,6 +92,7 @@ class Route:
         #: Cached single-prepend export form ``(sender_asn, announcement)``;
         #: see :meth:`export_announcement`.
         self._export: Optional[Tuple[int, Announcement]] = None
+        _C.routes_created += 1
 
     @classmethod
     def local(cls, prefix: Prefix, local_pref: int = 1_000_000) -> "Route":
@@ -160,6 +161,15 @@ class Route:
         announcement = self.to_announcement(sender_asn)
         self._export = (sender_asn, announcement)
         return announcement
+
+    def __deepcopy__(self, memo) -> "Route":
+        # Routes are immutable value objects — ``_export`` is a pure cache
+        # of a value fully determined by the route's fields — so checkpoint
+        # forks share them structurally instead of copying the densest
+        # object population in the simulation.  The flush path's announce
+        # dedup compares announcement *content* when the cache identity
+        # misses, so sharing the cache across forks cannot change behaviour.
+        return self
 
     def same_attributes(self, other: "Route") -> bool:
         """True when re-announcing ``other`` instead of ``self`` would be a no-op."""

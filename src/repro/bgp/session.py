@@ -15,6 +15,7 @@ convergence.
 
 from __future__ import annotations
 
+import copy
 from typing import Optional, Protocol
 
 from repro.bgp.messages import UpdateMessage
@@ -94,6 +95,24 @@ class Session:
         # FIFO guarantee: next earliest delivery time allowed, per direction.
         self._clear_time = {a.asn: 0.0, b.asn: 0.0}
         self.messages_sent = 0
+
+    def __deepcopy__(self, memo) -> "Session":
+        """Checkpoint fork: a few thousand sessions are copied per restore,
+        and the generic ``__reduce_ex__`` path costs several times this.
+        The delay spec is immutable (its ``__deepcopy__`` returns ``self``);
+        endpoints, engine, RNG and tracker resolve through the memo."""
+        clone = Session.__new__(Session)
+        memo[id(self)] = clone
+        clone.engine = copy.deepcopy(self.engine, memo)
+        clone.a = copy.deepcopy(self.a, memo)
+        clone.b = copy.deepcopy(self.b, memo)
+        clone.delay = self.delay
+        clone.rng = copy.deepcopy(self.rng, memo)
+        clone.tracker = copy.deepcopy(self.tracker, memo)
+        clone.up = self.up
+        clone._clear_time = dict(self._clear_time)
+        clone.messages_sent = self.messages_sent
+        return clone
 
     def other(self, endpoint_asn: int) -> Endpoint:
         """The endpoint on the far side from ``endpoint_asn``."""

@@ -13,6 +13,7 @@ is the quantity ARTEMIS' evaluation measures.
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 from repro.bgp.messages import Announcement, UpdateMessage, Withdrawal
@@ -71,6 +72,20 @@ class PeerState:
         self.next_allowed_send = 0.0
         self.flush_scheduled = False
 
+    def __deepcopy__(self, memo) -> "PeerState":
+        """Checkpoint fork: copy the per-peer dicts, share their immutable
+        values (announcements, prefixes) and the enum relationship."""
+        clone = PeerState.__new__(PeerState)
+        memo[id(self)] = clone
+        clone.session = copy.deepcopy(self.session, memo)
+        clone.relationship = self.relationship
+        clone.rel_index = self.rel_index
+        clone.adj_rib_out = dict(self.adj_rib_out)
+        clone.dirty = dict(self.dirty)
+        clone.next_allowed_send = self.next_allowed_send
+        clone.flush_scheduled = self.flush_scheduled
+        return clone
+
 
 class BGPSpeaker:
     """One AS's BGP router (the model collapses each AS to one speaker)."""
@@ -115,6 +130,50 @@ class BGPSpeaker:
         self._best_change_callbacks: List[BestChangeCallback] = []
         self.updates_received = 0
         self.updates_sent = 0
+
+    # -------------------------------------------------------------- forking
+
+    def __deepcopy__(self, memo) -> "BGPSpeaker":
+        clone = type(self).__new__(type(self))
+        memo[id(self)] = clone
+        clone._fill_from_fork(self, memo)
+        return clone
+
+    def _fill_from_fork(self, master: "BGPSpeaker", memo: dict) -> None:
+        """Populate this (pre-registered) shell as a CoW fork of ``master``.
+
+        Split out of :meth:`__deepcopy__` so a checkpoint restore can
+        register *every* speaker shell in the memo first and then fill them:
+        without the pre-pass, ``deepcopy`` chains speaker → session → peer
+        speaker → … depth-first through the whole connected AS graph and
+        overflows the recursion limit on Internet-scale topologies.
+
+        Three caches must be rebuilt rather than copied, because bound
+        built-in methods and handed-out table references are atomic under
+        ``deepcopy`` and would silently keep the fork writing the master:
+        ``_loc_install`` / ``_loc_remove`` (rebound to the cloned Loc-RIB),
+        ``_rib_rows`` (the cloned Adj-RIB-In's live table) and
+        ``_mark_targets`` (rows alias each PeerState's dicts).
+        """
+        # RIBs first: AdjRibIn.__deepcopy__ registers its cloned tables in
+        # the memo, so any other alias of them resolves to the clone's.
+        self.adj_rib_in = copy.deepcopy(master.adj_rib_in, memo)
+        self.loc_rib = copy.deepcopy(master.loc_rib, memo)
+        rebuilt = {
+            "adj_rib_in",
+            "loc_rib",
+            "_loc_install",
+            "_loc_remove",
+            "_rib_rows",
+            "_mark_targets",
+        }
+        for name, value in master.__dict__.items():
+            if name not in rebuilt:
+                setattr(self, name, copy.deepcopy(value, memo))
+        self._loc_install = self.loc_rib.install
+        self._loc_remove = self.loc_rib.remove
+        self._rib_rows = self.adj_rib_in.prefix_table()
+        self._rebuild_mark_targets()
 
     # ------------------------------------------------------------------ wiring
 
@@ -277,8 +336,14 @@ class BGPSpeaker:
             accept_import = policy.accept_import
             by_prefix, peer_routes = self.adj_rib_in.import_tables(sender_asn)
             by_prefix_get = by_prefix.get
+            # Empty (falsy) unless this RIB was forked from a checkpoint;
+            # rows listed here are shared with the frozen master and must be
+            # privatised before the inline insert below writes them.
+            shared_rows = self.adj_rib_in.shared_rows()
+            unshare_row = self.adj_rib_in._unshare_row
             neg_pref = -local_pref
             new_route = Route.__new__
+            created = 0
         for announcement in message.announcements:
             as_path = announcement.as_path
             if my_asn in as_path:  # inline has_loop
@@ -324,17 +389,22 @@ class BGPSpeaker:
                 sender_asn,
             )
             route._export = None
+            created += 1
             # Inline of AdjRibIn.insert against the hoisted ikey tables.
             pikey = prefix.ikey
             row = by_prefix_get(pikey)
             if row is None:
                 row = by_prefix[pikey] = {}
+            elif shared_rows and pikey in shared_rows:
+                row = unshare_row(pikey)
             replaced = row.get(sender_asn)
             row[sender_asn] = route
             peer_routes[pikey] = route
             touched[pikey] = (
                 ("f", prefix) if pikey in touched else ("a", route, replaced)
             )
+        if message.announcements and created:
+            _C.routes_created += created
         # Inline of _decide_insert/_decide_withdraw per touched prefix (the
         # busiest dispatch in the simulation; see those methods for the
         # soundness argument).
@@ -372,7 +442,10 @@ class BGPSpeaker:
     # ----------------------------------------------------------------- decision
 
     def _candidates(self, prefix: Prefix) -> List[Route]:
-        routes = self.adj_rib_in.candidates(prefix)
+        # candidates_view avoids the defensive copy candidates() makes; the
+        # list() here is the *one* copy this caller actually needs (it
+        # appends the local route and hands ownership out).
+        routes = list(self.adj_rib_in.candidates_view(prefix))
         local = self._local_routes.get(prefix.ikey)
         if local is not None:
             routes.append(local)

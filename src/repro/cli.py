@@ -32,7 +32,7 @@ from repro.eval.experiments import (
     summarize_results,
 )
 from repro.eval.report import format_duration, format_table, summary_rows
-from repro.perf import COUNTERS, format_profile
+from repro.perf import COUNTERS, format_profile, sample_memory
 from repro.testbed.scenario import HijackExperiment, ScenarioConfig
 from repro.topology.generator import GeneratorConfig, generate_internet
 from repro.topology.serial import save_caida
@@ -74,6 +74,28 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
         help="engage the batch archive while any live source is down",
     )
     parser.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="fork a checkpoint of the converged phase-1 world instead of "
+        "rebuilding it (captured on first use; suites share one capture)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint file to fork (built and saved there first if the "
+        "file does not exist yet); implies --warm-start",
+    )
+    parser.add_argument(
+        "--world-seed",
+        type=int,
+        default=None,
+        metavar="INT",
+        help="build the world from this seed and re-key all world RNG "
+        "streams from --seed at the hijack instant, so one checkpointed "
+        "world serves a whole sweep of run seeds bit-identically",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="print simulation perf counters (events/sec etc.) when done",
@@ -88,7 +110,7 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _scenario_from_args(args: argparse.Namespace, seed: Optional[int] = None) -> ScenarioConfig:
-    return ScenarioConfig(
+    config = ScenarioConfig(
         prefix=args.prefix,
         hijack_prefix=args.hijack_prefix,
         seed=args.seed if seed is None else seed,
@@ -101,7 +123,22 @@ def _scenario_from_args(args: argparse.Namespace, seed: Optional[int] = None) ->
         num_helpers=args.helpers,
         faults=args.faults,
         failover_to_batch=args.failover_to_batch,
+        world_seed=getattr(args, "world_seed", None),
+        warm_start=getattr(args, "warm_start", False),
     )
+    path = getattr(args, "checkpoint", None)
+    if path is not None:
+        import os
+
+        from repro.testbed.checkpoint import Checkpoint, save_checkpoint
+
+        if not os.path.exists(path):
+            # First use: capture the converged world and persist it, so the
+            # next invocation (or a CI restore job) forks it from disk.
+            save_checkpoint(Checkpoint.capture(config), path)
+            print(f"checkpoint captured -> {path}")
+        config.checkpoint = path
+    return config
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -345,6 +382,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(format_profile(time.perf_counter() - started))
     if profile_json:
+        sample_memory()
         payload = {
             "command": args.command,
             "elapsed_seconds": time.perf_counter() - started,

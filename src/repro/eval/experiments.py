@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.runner import BaselineExperiment, BaselineResult
 from repro.eval.stats import Summary, summarize
-from repro.perf import COUNTERS
+from repro.perf import COUNTERS, sample_memory
 from repro.testbed.scenario import ExperimentResult, HijackExperiment, ScenarioConfig
 
 
@@ -36,9 +36,25 @@ def _config_for_seed(template: ScenarioConfig, seed: int) -> ScenarioConfig:
 _WORKER_TEMPLATE: Optional[ScenarioConfig] = None
 
 
-def _init_worker(template: ScenarioConfig) -> None:
+def _init_worker(
+    template: ScenarioConfig,
+    checkpoint_key: Optional[str] = None,
+    checkpoint_blob: Optional[bytes] = None,
+) -> None:
     global _WORKER_TEMPLATE
     _WORKER_TEMPLATE = template
+    if checkpoint_blob is not None:
+        # Warm-start suite: the parent captured the converged world once
+        # and shipped it pickled, once per *process*.  Under the ``fork``
+        # start method the registry is inherited and the blob is never
+        # touched; under ``spawn`` it is deserialized exactly once here.
+        from repro.testbed import checkpoint as ckpt
+
+        if ckpt.registered_checkpoint(checkpoint_key) is None:
+            ckpt.register_checkpoint(ckpt.Checkpoint.from_bytes(checkpoint_blob))
+        # The checkpoint lives for the whole worker; stop the GC from
+        # re-walking a converged Internet on every collection.
+        ckpt.pin_checkpoints()
     COUNTERS.reset()
 
 
@@ -46,9 +62,8 @@ def _run_worker_seed(seed: int) -> Tuple[ExperimentResult, Dict[str, int]]:
     """Run one seed in a worker; ship the result and the perf delta back."""
     before = COUNTERS.as_dict()
     result = HijackExperiment(_config_for_seed(_WORKER_TEMPLATE, seed)).run()
-    after = COUNTERS.as_dict()
-    delta = {field: after[field] - before[field] for field in after}
-    return result, delta
+    sample_memory()
+    return result, COUNTERS.delta_since(before)
 
 
 def run_artemis_suite(
@@ -69,6 +84,13 @@ def run_artemis_suite(
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     seeds = list(seeds)
     if jobs == 1 or len(seeds) <= 1:
+        if template.warm_start or template.checkpoint is not None:
+            # Build/load the shared world up front, then pin it so the GC
+            # stops re-walking it on every pass of the sweep loop.
+            from repro.testbed import checkpoint as ckpt
+
+            ckpt.acquire_checkpoint(template)
+            ckpt.pin_checkpoints()
         results = []
         for seed in seeds:
             result = HijackExperiment(_config_for_seed(template, seed)).run()
@@ -76,9 +98,27 @@ def run_artemis_suite(
             if on_result is not None:
                 on_result(result)
         return results
+    checkpoint_key: Optional[str] = None
+    checkpoint_blob: Optional[bytes] = None
+    worker_template = template
+    if template.warm_start or template.checkpoint is not None:
+        # Build (or load) the shared world once in the parent, serialize it
+        # once, and let each worker process deserialize it once.  Workers
+        # then resolve it from their registry by key, so the template they
+        # receive must not carry the checkpoint object itself.
+        from repro.testbed import checkpoint as ckpt
+
+        master = ckpt.acquire_checkpoint(template)
+        checkpoint_key = master.key
+        checkpoint_blob = master.to_bytes()
+        worker_template = copy.copy(template)
+        worker_template.checkpoint = None
+        worker_template.warm_start = True
     results = []
     with multiprocessing.Pool(
-        min(jobs, len(seeds)), initializer=_init_worker, initargs=(template,)
+        min(jobs, len(seeds)),
+        initializer=_init_worker,
+        initargs=(worker_template, checkpoint_key, checkpoint_blob),
     ) as pool:
         # imap preserves seed order, so output is deterministic even when
         # workers finish out of order.

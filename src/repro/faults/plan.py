@@ -109,6 +109,11 @@ class Fault:
         self.period = float(period)
         self.vantage = None if vantage is None else int(vantage)
 
+    def __deepcopy__(self, memo) -> "Fault":
+        # Faults are frozen after validation; the injector never mutates
+        # them, so checkpoint forks share them.
+        return self
+
     @property
     def until(self) -> Optional[float]:
         """Relative end time of the fault window (None = open-ended)."""
@@ -175,6 +180,11 @@ class FaultPlan:
         self.faults: List[Fault] = list(faults)
         self.seed = int(seed)
         self.name = str(name)
+
+    def __deepcopy__(self, memo) -> "FaultPlan":
+        # Value object by convention (see the module docstring): one plan is
+        # shared across a whole seeded suite, so forks share it too.
+        return self
 
     def __len__(self) -> int:
         return len(self.faults)

@@ -162,28 +162,31 @@ class BatchArchive:
         if not rows:
             return
         delivered_at = self.engine.now + self.fetch_delay.sample(self.rng)
+        self.engine.schedule_at(delivered_at, self._deliver_fetched, rows, delivered_at)
 
-        def deliver() -> None:
-            if not self.transport_up:
-                # The fetch that was in progress when the outage hit fails.
-                self.files_missed += 1
-                return
-            for collector_name, vantage, kind, prefix, path, observed in rows:
-                event = FeedEvent(
-                    source=self.name,
-                    collector=collector_name,
-                    vantage_asn=vantage,
-                    kind=kind,
-                    prefix=prefix,
-                    as_path=path,
-                    observed_at=observed,
-                    delivered_at=delivered_at,
-                )
-                for subscription in self._interest.lookup(prefix):
-                    self.events_delivered += 1
-                    subscription.callback(event)
-
-        self.engine.schedule_at(delivered_at, deliver)
+    def _deliver_fetched(
+        self,
+        rows: List[Tuple[str, int, str, Prefix, Tuple[int, ...], float]],
+        delivered_at: float,
+    ) -> None:
+        if not self.transport_up:
+            # The fetch that was in progress when the outage hit fails.
+            self.files_missed += 1
+            return
+        for collector_name, vantage, kind, prefix, path, observed in rows:
+            event = FeedEvent(
+                source=self.name,
+                collector=collector_name,
+                vantage_asn=vantage,
+                kind=kind,
+                prefix=prefix,
+                as_path=path,
+                observed_at=observed,
+                delivered_at=delivered_at,
+            )
+            for subscription in self._interest.lookup(prefix):
+                self.events_delivered += 1
+                subscription.callback(event)
 
     def _publish_updates(self) -> None:
         rows, self._buffer = self._buffer, []

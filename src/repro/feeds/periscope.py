@@ -81,17 +81,21 @@ class LookingGlass:
     def query(
         self,
         target: Prefix,
-        callback: Callable[[float, LGAnswer], None],
+        callback: Callable[..., None],
+        *cb_args,
     ) -> None:
         """Ask the router for its view of ``target``.
 
         The answer contains every Loc-RIB entry overlapping the queried
         prefix (exact, more-specific, or covering — what a real
         ``show ip bgp`` longest-match listing exposes).  ``callback`` gets
-        ``(observed_at, rows)`` after the full round trip.  Queries beyond
-        the rate limit queue up to ``max_backlog`` deep; past that they are
-        dropped (counted in ``queries_dropped``), so the answer staleness
-        stays bounded even when the client polls faster than the limit.
+        ``(*cb_args, observed_at, rows)`` after the full round trip — the
+        extra leading args let callers use a shared bound method instead of
+        a per-query closure, which keeps queued queries checkpointable.
+        Queries beyond the rate limit queue up to ``max_backlog`` deep;
+        past that they are dropped (counted in ``queries_dropped``), so the
+        answer staleness stays bounded even when the client polls faster
+        than the limit.
 
         A dead LG drops the query immediately — against the same
         ``queries_dropped`` accounting, *without* advancing the rate-limit
@@ -113,13 +117,16 @@ class LookingGlass:
         forward = self.query_delay.sample(self.rng) / 2.0
         backward = self.query_delay.sample(self.rng) / 2.0
         self._next_allowed = start + self.min_query_interval
-        self.engine.schedule_at(start + forward, self._execute, target, backward, callback)
+        self.engine.schedule_at(
+            start + forward, self._execute, target, backward, callback, cb_args
+        )
 
     def _execute(
         self,
         target: Prefix,
         backward: float,
-        callback: Callable[[float, LGAnswer], None],
+        callback: Callable[..., None],
+        cb_args: Tuple = (),
     ) -> None:
         """Answer a query at the router: cached rows if the RIB is unchanged."""
         if not self.up:
@@ -144,7 +151,7 @@ class LookingGlass:
                 path = covering.as_path if covering.as_path else (self.speaker.asn,)
                 rows.append((covering.prefix, tuple(path)))
             self._answer_cache[target] = (version, rows)
-        self.engine.schedule(backward, callback, observed_at, rows)
+        self.engine.schedule(backward, callback, *cb_args, observed_at, rows)
 
     def fail(self) -> None:
         """Take the LG down: queries are dropped until :meth:`repair`."""
@@ -233,7 +240,8 @@ class PeriscopeAPI:
             phase = self.rng.uniform(0.0, self.poll_interval)
             handle = self.engine.schedule_periodic(
                 self.poll_interval,
-                self._make_poller(lg),
+                self._poll,
+                lg,
                 first_delay=phase,
             )
             self._poll_handles.append(handle)
@@ -258,39 +266,33 @@ class PeriscopeAPI:
 
     # ----------------------------------------------------------------- polling
 
-    def _make_poller(self, lg: LookingGlass) -> Callable[[], None]:
-        def poll() -> None:
-            for prefix in list(self._watched):
-                self.queries_sent += 1
-                lg.query(prefix, self._make_handler(lg, prefix))
+    def _poll(self, lg: LookingGlass) -> None:
+        for prefix in list(self._watched):
+            self.queries_sent += 1
+            lg.query(prefix, self._handle_answer, lg, prefix)
 
-        return poll
-
-    def _make_handler(
-        self, lg: LookingGlass, watched: Prefix
-    ) -> Callable[[float, LGAnswer], None]:
-        def handle(observed_at: float, rows: LGAnswer) -> None:
-            # Any answer (even an unchanged one) is proof of transport life.
-            self.last_activity_at = self.engine.now
-            seen_prefixes = set()
-            for prefix, path in rows:
-                seen_prefixes.add(prefix)
-                key = (lg.name, prefix)
-                if self._last_seen.get(key) == path:
-                    continue
-                self._last_seen[key] = path
-                self._deliver(lg, "A", prefix, path, observed_at)
-            # Implicit withdrawals: previously seen rows under the watched
-            # prefix that no longer appear.
-            for key in [
-                k
-                for k in self._last_seen
-                if k[0] == lg.name and watched.overlaps(k[1]) and k[1] not in seen_prefixes
-            ]:
-                del self._last_seen[key]
-                self._deliver(lg, "W", key[1], (), observed_at)
-
-        return handle
+    def _handle_answer(
+        self, lg: LookingGlass, watched: Prefix, observed_at: float, rows: LGAnswer
+    ) -> None:
+        # Any answer (even an unchanged one) is proof of transport life.
+        self.last_activity_at = self.engine.now
+        seen_prefixes = set()
+        for prefix, path in rows:
+            seen_prefixes.add(prefix)
+            key = (lg.name, prefix)
+            if self._last_seen.get(key) == path:
+                continue
+            self._last_seen[key] = path
+            self._deliver(lg, "A", prefix, path, observed_at)
+        # Implicit withdrawals: previously seen rows under the watched
+        # prefix that no longer appear.
+        for key in [
+            k
+            for k in self._last_seen
+            if k[0] == lg.name and watched.overlaps(k[1]) and k[1] not in seen_prefixes
+        ]:
+            del self._last_seen[key]
+            self._deliver(lg, "W", key[1], (), observed_at)
 
     def _deliver(
         self,

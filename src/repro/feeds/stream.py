@@ -166,19 +166,19 @@ class StreamingService:
             delivered_at=delivered_at,
         )
 
-        def publish() -> None:
-            # An event still on the wire when the connection dropped is lost
-            # with it — subscribers only ever see a live transport's feed.
-            if not self.transport_up:
-                self.events_lost_in_flight += 1
-                return
-            # Re-resolved at delivery time, so subscriptions added or
-            # deactivated while the event was in flight are honoured.
-            for subscription in self._interest.lookup(prefix):
-                self.events_delivered += 1
-                subscription.callback(event)
+        self.engine.schedule_at(delivered_at, self._publish, prefix, event)
 
-        self.engine.schedule_at(delivered_at, publish)
+    def _publish(self, prefix: Prefix, event: FeedEvent) -> None:
+        # An event still on the wire when the connection dropped is lost
+        # with it — subscribers only ever see a live transport's feed.
+        if not self.transport_up:
+            self.events_lost_in_flight += 1
+            return
+        # Re-resolved at delivery time, so subscriptions added or
+        # deactivated while the event was in flight are honoured.
+        for subscription in self._interest.lookup(prefix):
+            self.events_delivered += 1
+            subscription.callback(event)
 
     def __repr__(self) -> str:
         return (

@@ -27,6 +27,15 @@ from repro.net.prefix import Address, Prefix
 Key = Tuple[int, int]
 
 
+def _selected_origin(speaker: BGPSpeaker, probe: Address) -> Optional[int]:
+    """Default tracked value: the origin AS the speaker selects for ``probe``.
+
+    A module-level function (not a lambda) so trackers — and the experiment
+    checkpoints that contain them — deep-copy and pickle cleanly.
+    """
+    return speaker.resolve_origin(probe)
+
+
 class OriginTracker:
     """Event-driven data-plane origin map for one watched prefix."""
 
@@ -47,9 +56,7 @@ class OriginTracker:
             watch = Prefix.parse(watch)
         self.network = network
         self.watch = watch
-        self._value_fn = value_fn or (
-            lambda speaker, probe: speaker.resolve_origin(probe)
-        )
+        self._value_fn = value_fn or _selected_origin
         #: One probe address per sub-prefix ``probe_depth`` levels down, so
         #: per-half divergence after de-aggregation is visible.
         depth = min(watch.length + max(0, probe_depth), watch.bits)

@@ -127,6 +127,10 @@ class Address:
         """Total address width in bits (32 or 128)."""
         return _V4_BITS if self.version == 4 else _V6_BITS
 
+    def __deepcopy__(self, memo) -> "Address":
+        # Immutable value object: shared structurally by checkpoint forks.
+        return self
+
     def __str__(self) -> str:
         if self.version == 4:
             return _format_v4(self.value)
@@ -344,6 +348,10 @@ class Prefix:
             diff >>= 1
             common -= 1
         return common
+
+    def __deepcopy__(self, memo) -> "Prefix":
+        # Immutable value object: shared structurally by checkpoint forks.
+        return self
 
     def __str__(self) -> str:
         return f"{self.network}/{self.length}"

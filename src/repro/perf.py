@@ -13,11 +13,17 @@ What the counters capture:
 * **bgp** — UPDATEs processed, flushes run, export announcements built vs
   reused (the per-Loc-RIB-change sharing), and dirty marks skipped because
   the policy can never export to that peer;
-* **interning** — AS-path tuple and prefix-parse cache hit rates.
+* **interning** — AS-path tuple and prefix-parse cache hit rates;
+* **checkpointing** — restores performed and copy-on-write forks taken by
+  restored speakers (how much of the shared checkpoint a run privatised);
+* **memory gauges** — peak RSS, intern-table populations and serialized
+  checkpoint size, sampled with :func:`sample_memory` rather than bumped.
 
 ``repro.cli --profile`` prints :func:`format_profile` on exit; the parallel
 suite runner merges worker snapshots back into the parent so the table also
-covers multi-process runs.
+covers multi-process runs.  Counter fields merge by summing; gauge fields
+merge by taking the maximum (a peak RSS summed across workers would be
+meaningless).
 """
 
 from __future__ import annotations
@@ -47,6 +53,20 @@ FIELDS: Tuple[str, ...] = (
     "path_intern_misses",
     "prefix_parse_hits",
     "prefix_parse_misses",
+    # checkpointing
+    "routes_created",
+    "checkpoint_restores",
+    "cow_row_forks",
+    "cow_table_forks",
+)
+
+#: Gauge fields: sampled point-in-time values, merged with ``max`` instead
+#: of ``+`` across worker processes (see :func:`sample_memory`).
+GAUGES: Tuple[str, ...] = (
+    "peak_rss_kb",
+    "path_cache_size",
+    "prefix_cache_size",
+    "checkpoint_bytes",
 )
 
 
@@ -59,25 +79,51 @@ class PerfCounters:
     integer add.
     """
 
-    __slots__ = FIELDS
+    __slots__ = FIELDS + GAUGES
 
     def __init__(self) -> None:
         self.reset()
 
     def reset(self) -> None:
-        """Zero every counter (start of a profiled run)."""
+        """Zero every counter and gauge (start of a profiled run)."""
         for field in FIELDS:
             setattr(self, field, 0)
+        for gauge in GAUGES:
+            setattr(self, gauge, 0)
 
     def as_dict(self) -> Dict[str, int]:
         """A plain-dict snapshot (picklable; what workers send back)."""
-        return {field: getattr(self, field) for field in FIELDS}
+        snapshot = {field: getattr(self, field) for field in FIELDS}
+        for gauge in GAUGES:
+            snapshot[gauge] = getattr(self, gauge)
+        return snapshot
 
     def merge(self, snapshot: Mapping[str, int]) -> None:
-        """Add a worker-process snapshot into this instance."""
+        """Fold a worker-process snapshot into this instance.
+
+        Counters add; gauges take the max (peaks and table populations are
+        per-process highs, not flows).
+        """
         for field, value in snapshot.items():
             if field in FIELDS:
                 setattr(self, field, getattr(self, field) + int(value))
+            elif field in GAUGES:
+                setattr(self, field, max(getattr(self, field), int(value)))
+
+    def delta_since(self, before: Mapping[str, int]) -> Dict[str, int]:
+        """What a worker sends home: counter deltas, gauge current values.
+
+        Subtracting a gauge would turn "peak RSS 80 MB" into a nonsense
+        difference, so gauges pass through as-is and the parent's
+        :meth:`merge` max-folds them.
+        """
+        delta = {
+            field: getattr(self, field) - int(before.get(field, 0))
+            for field in FIELDS
+        }
+        for gauge in GAUGES:
+            delta[gauge] = getattr(self, gauge)
+        return delta
 
     # ------------------------------------------------------------ derived
 
@@ -116,12 +162,43 @@ class PerfCounters:
 COUNTERS = PerfCounters()
 
 
+def sample_memory() -> None:
+    """Refresh the memory gauges on :data:`COUNTERS` (monotone per process).
+
+    Called at profile-report time and before a worker ships its snapshot
+    home.  Late imports keep this module dependency-free for the hot paths
+    that import it; ``resource`` is Unix-only, so its absence simply leaves
+    the RSS gauge at zero.
+    """
+    c = COUNTERS
+    try:
+        import resource
+
+        # ru_maxrss is KB on Linux (bytes on macOS — close enough for a
+        # monotone gauge; the suites run on Linux).
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if peak > c.peak_rss_kb:
+            c.peak_rss_kb = int(peak)
+    except ImportError:  # pragma: no cover - non-Unix
+        pass
+    from repro.bgp.messages import _PATH_CACHE
+    from repro.net.prefix import _PARSE_CACHE
+
+    if len(_PATH_CACHE) > c.path_cache_size:
+        c.path_cache_size = len(_PATH_CACHE)
+    if len(_PARSE_CACHE) > c.prefix_cache_size:
+        c.prefix_cache_size = len(_PARSE_CACHE)
+
+
 def profile_rows(wall_seconds: Optional[float] = None) -> List[Tuple[str, str]]:
     """(name, value) rows for the ``--profile`` table, derived stats last."""
+    sample_memory()
     c = COUNTERS
     rows: List[Tuple[str, str]] = [
         (field.replace("_", " "), str(getattr(c, field))) for field in FIELDS
     ]
+    for gauge in GAUGES:
+        rows.append((gauge.replace("_", " "), str(getattr(c, gauge))))
     rows.append(("allocations avoided", str(c.allocations_avoided)))
     rows.append(("queue tombstone ratio", f"{c.tombstone_ratio:.4f}"))
     if wall_seconds is not None and wall_seconds > 0:

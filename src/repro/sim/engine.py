@@ -82,11 +82,40 @@ class PeriodicHandle(EventHandle):
 
     __slots__ = ("interval", "firings", "_inner")
 
-    def __init__(self, time: float, interval: float, callback: Callable[[], Any]):
-        super().__init__(time, -1, callback)
+    def __init__(
+        self,
+        time: float,
+        interval: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        engine: Optional["Engine"] = None,
+    ):
+        super().__init__(time, -1, callback, args, engine)
         self.interval = interval
         self.firings = 0
         self._inner: Optional[EventHandle] = None
+
+    def _fire(self) -> None:
+        """One firing of the series; reschedules itself until cancelled.
+
+        A bound method rather than a closure so queued firings carry no
+        cell references: checkpoint restore (deepcopy / pickle) remaps
+        ``self`` to the forked handle and the series keeps running against
+        the forked engine.
+        """
+        if self.cancelled:
+            return
+        self.fired = True
+        self.firings += 1
+        callback, args = self.callback, self.args
+        if args:
+            callback(*args)
+        else:
+            callback()
+        if not self.cancelled:
+            inner = self._engine.schedule(self.interval, self._fire)
+            self._inner = inner
+            self.time = inner.time
 
     def cancel(self) -> bool:
         """Stop all future firings; also drops the queued next firing."""
@@ -118,6 +147,10 @@ class Engine:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        #: Set by :meth:`freeze` once the engine backs a shared checkpoint:
+        #: every fork reads its tables structurally, so the master must
+        #: never advance or mutate again.
+        self._frozen = False
         #: Cancelled-but-still-queued entries (lazy purge bookkeeping).
         self._tombstones = 0
         self.events_processed = 0
@@ -144,6 +177,11 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self._now}"
             )
+        if self._frozen:
+            raise SimulationError(
+                "engine is frozen (it backs a shared checkpoint); "
+                "fork the checkpoint and run the fork instead"
+            )
         seq = self._seq
         self._seq = seq + 1
         handle = EventHandle(time, seq, callback, args, self)
@@ -154,10 +192,11 @@ class Engine:
     def schedule_periodic(
         self,
         interval: float,
-        callback: Callable[[], Any],
+        callback: Callable[..., Any],
+        *args: Any,
         first_delay: Optional[float] = None,
     ) -> PeriodicHandle:
-        """Run ``callback()`` every ``interval`` seconds until cancelled.
+        """Run ``callback(*args)`` every ``interval`` seconds until cancelled.
 
         Cancelling the returned handle stops all future firings (including
         the one already queued).  The handle's ``time`` attribute tracks the
@@ -166,22 +205,11 @@ class Engine:
         if interval <= 0:
             raise SimulationError(f"periodic interval must be positive, got {interval}")
         delay = interval if first_delay is None else first_delay
-        # A stable outer handle that survives reschedules: we wrap each firing
-        # so the caller can cancel once and stop the whole series.
-        outer = PeriodicHandle(self._now + delay, interval, callback)
-
-        def fire() -> None:
-            if outer.cancelled:
-                return
-            outer.fired = True
-            outer.firings += 1
-            callback()
-            if not outer.cancelled:
-                inner = self.schedule(interval, fire)
-                outer._inner = inner
-                outer.time = inner.time
-
-        outer._inner = self.schedule(delay, fire)
+        # A stable outer handle that survives reschedules: the caller can
+        # cancel once and stop the whole series.  Each queued firing is the
+        # handle's own (bound) ``_fire``, so the series is restorable.
+        outer = PeriodicHandle(self._now + delay, interval, callback, args, self)
+        outer._inner = self.schedule(delay, outer._fire)
         outer.time = outer._inner.time
         return outer
 
@@ -231,8 +259,36 @@ class Engine:
             _C.tombstones_purged += 1
         return queue[0][0] if queue else None
 
+    def freeze(self) -> None:
+        """Refuse all further scheduling and stepping.
+
+        Called on the engine of a checkpointed master experiment: forked
+        runs share its RIB tables and queued handles structurally, so any
+        mutation of the master after the first fork would corrupt every
+        fork taken afterwards.  Forked engines are created unfrozen.
+        """
+        self._frozen = True
+
+    def thaw(self) -> None:
+        """Lift a :meth:`freeze` — only ever called on a *forked* engine.
+
+        Deepcopying a frozen master copies ``_frozen = True`` along with the
+        queue; the checkpoint fork path thaws its private copy so the run
+        can proceed.  The master itself is never thawed.
+        """
+        self._frozen = False
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
     def step(self) -> bool:
         """Fire the single next event; returns False when none remain."""
+        if self._frozen:
+            raise SimulationError(
+                "engine is frozen (it backs a shared checkpoint); "
+                "fork the checkpoint and run the fork instead"
+            )
         queue = self._queue
         while queue:
             time, _seq, handle = heapq.heappop(queue)
@@ -268,6 +324,11 @@ class Engine:
         """
         if self._running:
             raise SimulationError("engine.run() re-entered from a callback")
+        if self._frozen:
+            raise SimulationError(
+                "engine is frozen (it backs a shared checkpoint); "
+                "fork the checkpoint and run the fork instead"
+            )
         self._running = True
         fired = 0
         queue = self._queue

@@ -23,6 +23,11 @@ from repro.sim.rng import SeededRNG
 class Delay:
     """Base class: a non-negative random delay in seconds."""
 
+    def __deepcopy__(self, memo) -> "Delay":
+        # Delay specs are frozen after construction; checkpoint forks share
+        # them (stateless samplers — all randomness lives in the RNG).
+        return self
+
     def sample(self, rng: SeededRNG) -> float:
         raise NotImplementedError
 

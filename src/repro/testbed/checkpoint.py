@@ -1,0 +1,336 @@
+"""Warm-start checkpoints: snapshot the converged Internet once, fork it per run.
+
+Every hijack experiment spends the bulk of its wall clock in phases 0–1 —
+building the topology, converging the victim's announcement everywhere, and
+polling the looking-glass baselines — before the part under study (the
+attack) even begins.  A :class:`Checkpoint` captures that converged world
+exactly once and hands out **copy-on-write forks**: restored speakers share
+the checkpoint's immutable :class:`~repro.bgp.route.Route` objects, interned
+AS-path tuples and prefixes, and — crucially — its RIB *tables* structurally,
+privatising a table row only when the attack's churn first writes to it (see
+``AdjRibIn.__deepcopy__`` / ``LocRib.__deepcopy__``).
+
+What is shared vs copied on fork
+--------------------------------
+
+* **Shared forever (immutable):** routes, announcements, withdrawals,
+  prefixes, AS-path tuples, delay specs, fault plans, the AS graph, the
+  network/scenario configs, per-speaker policies, the RPKI registry.
+  These either define ``__deepcopy__`` returning ``self`` or are seeded
+  into the deepcopy memo here.
+* **Shared until first write (copy-on-write):** Adj-RIB-In rows and the
+  Loc-RIB radix trie.  The fork gets its own *outer* dicts immediately
+  (cheap) but the per-prefix inner tables stay shared; the perf counters
+  ``cow_row_forks`` / ``cow_table_forks`` count privatisations.
+* **Copied eagerly (mutable run state):** the engine (clock + pending
+  timers, MRAI and poll events included), session state, Adj-RIB-Out and
+  dirty maps, RNG streams (exact generator positions), trackers, feeds,
+  ARTEMIS, the supervisor.
+
+The capture's engine is frozen (:meth:`~repro.sim.engine.Engine.freeze`)
+the moment the checkpoint is taken: forks read its queue structurally, so
+the master must never advance again.  Forks are thawed copies.
+
+Keying and the registry
+-----------------------
+
+Checkpoints are keyed by a digest of the *world-defining* configuration —
+everything except the run-scoped fields (``seed`` when ``world_seed`` is
+pinned, the fault plan, and the warm-start flags themselves).  A
+process-wide registry maps key → checkpoint so a suite builds the world
+once; workers receive the pickled checkpoint once per process via the pool
+initializer and fork it per seed.
+"""
+
+from __future__ import annotations
+
+import copy
+import gc
+import hashlib
+import pickle
+import sys
+from typing import Dict, Optional
+
+from repro.errors import ExperimentError
+from repro.net.prefix import Prefix
+from repro.perf import COUNTERS as _C
+from repro.testbed.scenario import HijackExperiment, ScenarioConfig
+from repro.topology.graph import ASGraph
+
+#: Bump when the captured object graph changes incompatibly; saved
+#: checkpoints from other versions are refused at load time.
+FORMAT_VERSION = 1
+
+#: Deep object graphs (speaker → session → speaker …) exceed the default
+#: interpreter recursion limit under pickle at Internet scale; raised
+#: temporarily around dumps/loads.  Deepcopy forks stay shallow because
+#: every speaker shell is pre-registered in the memo before filling.
+_PICKLE_RECURSION_LIMIT = 200_000
+
+
+def world_config(config: ScenarioConfig) -> ScenarioConfig:
+    """The capture-time config: ``config`` minus its run-scoped fields.
+
+    The world is built from ``world_seed`` (or ``seed`` when unpinned);
+    faults are run-scoped (seeded by the run seed, armed at the hijack
+    instant), and the warm-start fields must not recurse.
+    """
+    base = copy.copy(config)
+    base.seed = config.seed if config.world_seed is None else config.world_seed
+    base.world_seed = None
+    base.faults = None
+    base.warm_start = False
+    base.checkpoint = None
+    return base
+
+
+def graph_digest(graph: ASGraph) -> str:
+    """Structural digest of a topology: nodes (with attributes) and links."""
+    hasher = hashlib.sha256()
+    for node in graph.nodes():
+        hasher.update(
+            repr((node.asn, node.tier, str(node.region), sorted(node.tags))).encode()
+        )
+    for link in graph.links():
+        hasher.update(repr((link[0], link[1], str(link[2]))).encode())
+    return hasher.hexdigest()
+
+
+def _signature(value) -> str:
+    """A stable, recursive textual form of a config value (for keying)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return repr(value)
+    if isinstance(value, Prefix):
+        return f"Prefix({value})"
+    if isinstance(value, ASGraph):
+        return f"ASGraph({graph_digest(value)})"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_signature(item) for item in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_signature(item) for item in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+        return "{" + ",".join(f"{k!r}:{_signature(v)}" for k, v in items) + "}"
+    # Config-style objects (GeneratorConfig, NetworkConfig, ChurnConfig,
+    # delay specs): class name over their normalized attribute dict.
+    state = getattr(value, "__dict__", None)
+    if state is None and hasattr(type(value), "__slots__"):
+        state = {
+            slot: getattr(value, slot)
+            for slot in type(value).__slots__
+            if hasattr(value, slot)
+        }
+    if state is not None:
+        return type(value).__name__ + _signature(dict(state))
+    return repr(value)
+
+
+def checkpoint_key(config: ScenarioConfig) -> str:
+    """Digest of the world-defining part of ``config``.
+
+    Two configs that differ only in run-scoped fields (run seed under a
+    pinned ``world_seed``, fault plan, warm-start flags) share a key — and
+    therefore a checkpoint.
+    """
+    base = world_config(config)
+    return hashlib.sha256(_signature(dict(base.__dict__)).encode()).hexdigest()
+
+
+class _raised_recursion_limit:
+    """Temporarily raise the interpreter recursion limit (pickle only)."""
+
+    def __enter__(self):
+        self._saved = sys.getrecursionlimit()
+        if self._saved < _PICKLE_RECURSION_LIMIT:
+            sys.setrecursionlimit(_PICKLE_RECURSION_LIMIT)
+
+    def __exit__(self, *exc):
+        sys.setrecursionlimit(self._saved)
+        return False
+
+
+class Checkpoint:
+    """A frozen, converged phase-1 world plus the machinery to fork it."""
+
+    def __init__(self, key: str, experiment: HijackExperiment):
+        self.format_version = FORMAT_VERSION
+        self.key = key
+        self.experiment = experiment
+        #: Simulated clock at capture (end of phase-1 settle).
+        self.clock = experiment.network.engine.now
+
+    # ---------------------------------------------------------------- capture
+
+    @classmethod
+    def capture(cls, config: ScenarioConfig) -> "Checkpoint":
+        """Build the world, run phase 1, freeze it, and wrap it up."""
+        base = world_config(config)
+        experiment = HijackExperiment(base)
+        experiment.run_phase1()
+        experiment.network.engine.freeze()
+        return cls(checkpoint_key(base), experiment)
+
+    # ------------------------------------------------------------------- fork
+
+    def _shared_objects(self):
+        """Objects shared (not copied) by every fork: frozen after setup."""
+        master = self.experiment
+        network = master.network
+        yield master.config
+        yield master.config.topology
+        yield network.graph
+        yield network.config
+        yield network.rpki
+        for speaker in network.speakers.values():
+            yield speaker.policy
+
+    def fork(self) -> HijackExperiment:
+        """A private, runnable copy of the captured experiment.
+
+        Speaker shells are pre-registered in the deepcopy memo before any
+        filling happens, which (a) bounds recursion depth — a naive
+        deepcopy would chain speaker → session → peer speaker → … through
+        the whole connected graph — and (b) lets every session/callback
+        encountered later resolve its speaker references through the memo.
+        """
+        master = self.experiment
+        memo: Dict[int, object] = {}
+        for obj in self._shared_objects():
+            memo[id(obj)] = obj
+        speakers = list(master.network.speakers.values())
+        shells = []
+        for speaker in speakers:
+            shell = type(speaker).__new__(type(speaker))
+            memo[id(speaker)] = shell
+            shells.append(shell)
+        for speaker, shell in zip(speakers, shells):
+            shell._fill_from_fork(speaker, memo)
+        fork = copy.deepcopy(master, memo)
+        fork.network.engine.thaw()
+        _C.checkpoint_restores += 1
+        return fork
+
+    # ---------------------------------------------------------- serialization
+
+    def to_bytes(self) -> bytes:
+        """Pickle for shipping to suite workers (once per process)."""
+        with _raised_recursion_limit():
+            data = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(data) > _C.checkpoint_bytes:
+            _C.checkpoint_bytes = len(data)
+        return data
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Checkpoint":
+        with _raised_recursion_limit():
+            checkpoint = pickle.loads(data)
+        if not isinstance(checkpoint, cls):
+            raise ExperimentError("data does not contain a Checkpoint")
+        if checkpoint.format_version != FORMAT_VERSION:
+            raise ExperimentError(
+                f"checkpoint format v{checkpoint.format_version} is not "
+                f"readable by this build (expects v{FORMAT_VERSION})"
+            )
+        if len(data) > _C.checkpoint_bytes:
+            _C.checkpoint_bytes = len(data)
+        return checkpoint
+
+    def __repr__(self) -> str:
+        return (
+            f"<Checkpoint v{self.format_version} key={self.key[:12]} "
+            f"clock={self.clock:.1f}s ases={len(self.experiment.network.speakers)}>"
+        )
+
+
+def save_checkpoint(checkpoint: Checkpoint, path: str) -> None:
+    """Write ``checkpoint`` to ``path`` (see ``repro.cli --checkpoint``)."""
+    with open(path, "wb") as handle:
+        handle.write(checkpoint.to_bytes())
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    with open(path, "rb") as handle:
+        return Checkpoint.from_bytes(handle.read())
+
+
+# ------------------------------------------------------------------ registry
+
+#: Process-wide registry: checkpoint key → checkpoint.  Suites register the
+#: shared checkpoint here (workers do so in their pool initializer) so every
+#: warm experiment in the process forks the same master.
+_REGISTRY: Dict[str, Checkpoint] = {}
+
+#: Checkpoints loaded from disk, cached per path so a sweep pointing many
+#: seeds at one ``--checkpoint`` file deserializes it once.
+_LOADED: Dict[str, Checkpoint] = {}
+
+
+def register_checkpoint(checkpoint: Checkpoint) -> None:
+    """Install ``checkpoint`` in the process-wide registry, keyed by world."""
+    _REGISTRY[checkpoint.key] = checkpoint
+
+
+def registered_checkpoint(key: str) -> Optional[Checkpoint]:
+    """The registered checkpoint for a world key, or ``None``."""
+    return _REGISTRY.get(key)
+
+
+def clear_registry() -> None:
+    """Drop all registered/loaded checkpoints (tests; frees the worlds)."""
+    _REGISTRY.clear()
+    _LOADED.clear()
+
+
+def pin_checkpoints() -> None:
+    """Exempt the live heap — notably registered checkpoints — from GC.
+
+    A checkpoint keeps an entire converged Internet alive for the rest of
+    the process, which roughly doubles the heap every generational collector
+    pass has to walk; on a 1000-AS world that costs more wall clock than the
+    forks themselves.  Collect once, then ``gc.freeze()`` so the permanent
+    objects stop being scanned.  Call after the checkpoint is registered
+    (suite workers do this in their initializer; sweep drivers should call
+    it after :func:`acquire_checkpoint`).
+    """
+    gc.collect()
+    gc.freeze()
+
+
+def acquire_checkpoint(config: ScenarioConfig) -> Checkpoint:
+    """The checkpoint a warm-started ``config`` should fork.
+
+    Resolution order: an explicit :class:`Checkpoint` on the config, a path
+    on the config (loaded once, cached), then the registry by key —
+    capturing and registering on first miss.  Explicit checkpoints must
+    match the config's world key: forking an incompatible world would run
+    the attack against a different Internet than the one being measured.
+    """
+    key = checkpoint_key(config)
+    supplied = config.checkpoint
+    if isinstance(supplied, Checkpoint):
+        checkpoint = supplied
+    elif isinstance(supplied, (str, bytes)):
+        path = str(supplied)
+        checkpoint = _LOADED.get(path)
+        if checkpoint is None:
+            checkpoint = load_checkpoint(path)
+            _LOADED[path] = checkpoint
+    elif supplied is None:
+        checkpoint = _REGISTRY.get(key)
+        if checkpoint is None:
+            checkpoint = Checkpoint.capture(config)
+            _REGISTRY[key] = checkpoint
+        return checkpoint
+    else:
+        raise ExperimentError(
+            f"config.checkpoint must be a Checkpoint or a path, "
+            f"got {type(supplied).__name__}"
+        )
+    if checkpoint.key != key:
+        raise ExperimentError(
+            "checkpoint is incompatible with this scenario "
+            f"(checkpoint world {checkpoint.key[:12]}…, "
+            f"scenario world {key[:12]}…)"
+        )
+    return checkpoint

@@ -40,6 +40,28 @@ from repro.topology.generator import GeneratorConfig, generate_internet
 from repro.topology.graph import ASGraph
 
 
+class PathPresenceProbe:
+    """Tracker value function: is ``target_asn`` on the selected path (MitM)?
+
+    A picklable callable object rather than a closure, so experiments that
+    track forged-origin hijacks can be checkpointed and forked.
+    """
+
+    __slots__ = ("target_asn",)
+
+    def __init__(self, target_asn: int):
+        self.target_asn = target_asn
+
+    def __call__(self, speaker, probe) -> bool:
+        route = speaker.resolve(probe)
+        if route is None:
+            return False
+        if speaker.asn == self.target_asn:
+            # The attacker always "routes via" itself for forged space.
+            return bool(route.is_local)
+        return self.target_asn in route.as_path
+
+
 class ScenarioConfig:
     """Everything that defines one hijack experiment."""
 
@@ -73,6 +95,9 @@ class ScenarioConfig:
         faults=None,
         failover_to_batch: bool = False,
         supervision: Optional[Dict] = None,
+        world_seed: Optional[int] = None,
+        warm_start: bool = False,
+        checkpoint=None,
     ):
         self.prefix = Prefix.parse(prefix)
         #: What the hijacker announces; defaults to the owned prefix itself
@@ -167,10 +192,36 @@ class ScenarioConfig:
         #: :class:`~repro.feeds.health.SourceSupervisor` (check interval,
         #: staleness timeout, backoff parameters).
         self.supervision = dict(supervision or {})
+        #: When set, the *world* (topology, phase-1 convergence) is built
+        #: from this seed instead of :attr:`seed`, and every world RNG
+        #: stream is re-keyed from ``seed`` at the hijack instant — in both
+        #: the cold and the warm path.  This is what lets one checkpoint of
+        #: the converged Internet serve a whole sweep of run seeds while
+        #: keeping each run bit-identical to its cold twin.  ``None`` (the
+        #: default) preserves the historical behaviour: the world varies
+        #: with ``seed`` and no re-keying happens.
+        self.world_seed = None if world_seed is None else int(world_seed)
+        #: Skip phases 0–1 by forking a checkpoint of the converged world
+        #: from the process-wide registry (built on first miss).  See
+        #: :mod:`repro.testbed.checkpoint`.
+        self.warm_start = bool(warm_start)
+        #: Explicit checkpoint to fork instead of consulting the registry:
+        #: a :class:`~repro.testbed.checkpoint.Checkpoint` instance or a
+        #: path to one saved with ``save_checkpoint``.  Implies warm start.
+        self.checkpoint = checkpoint
 
 
 class ExperimentResult:
     """The measured outcome of one experiment (the paper's §3 quantities)."""
+
+    #: Host wall-clock seconds per experiment phase (setup / phase1 — or
+    #: restore, for warm starts — / phase2 / phase3).  The experiment's
+    #: :attr:`HijackExperiment.phase_walls` dict is the single source of
+    #: truth during the run; it is copied here exactly once when the result
+    #: is built, so this class-level empty default is never mutated.
+    #: Deliberately left out of :meth:`to_dict`: serialized results must
+    #: stay bit-identical across hosts and job counts.
+    phase_walls: Dict[str, float] = {}
 
     def __init__(self) -> None:
         self.seed: int = 0
@@ -218,11 +269,6 @@ class ExperimentResult:
         #: target) audit log — empty without a fault plan.
         self.faults_injected: int = 0
         self.fault_log: List[List] = []
-        #: Host wall-clock seconds per experiment phase (setup / phase1 /
-        #: phase2 / phase3) — profiling detail for the scaling benches.
-        #: Deliberately left out of :meth:`to_dict`: serialized results must
-        #: stay bit-identical across hosts and job counts.
-        self.phase_walls: Dict[str, float] = {}
 
     def to_dict(self) -> Dict:
         return {
@@ -281,9 +327,11 @@ class HijackExperiment:
         #: origin (the origin never changes in a type-1 hijack).
         self.path_tracker: Optional[OriginTracker] = None
         self.churn: Optional[BackgroundChurn] = None
-        #: Host wall-clock seconds spent building/simulating each phase.
+        #: Host wall-clock seconds spent building/simulating each phase —
+        #: the single source of truth; copied into the result once at build.
         self.phase_walls: Dict[str, float] = {}
         self._setup_done = False
+        self._phase1_done = False
 
     # ------------------------------------------------------------------- setup
 
@@ -293,17 +341,22 @@ class HijackExperiment:
             return
         wall_start = time.perf_counter()
         cfg = self.config
+        # The seed the *world* is built from.  Normally the run seed; when a
+        # world_seed is pinned (warm-start sweeps sharing one checkpointed
+        # Internet) the world comes from it and the run seed only re-keys
+        # the streams at the hijack instant (see :meth:`_reseed_for_run`).
+        wseed = cfg.seed if cfg.world_seed is None else cfg.world_seed
         # A caller-supplied graph is copied: setup grafts the virtual ASes
         # onto it, and suites rerun many seeds against one shared topology.
         graph = cfg.graph.copy() if cfg.graph is not None else generate_internet(
-            cfg.topology, seed=cfg.seed
+            cfg.topology, seed=wseed
         )
         network_config = cfg.network
         if cfg.rov_adoption > 0.0:
             network_config = network_config or NetworkConfig()
             network_config.rov_adoption = cfg.rov_adoption
-        self.network = Network(graph, config=network_config, seed=cfg.seed)
-        self.testbed = PeeringTestbed(self.network, seed=cfg.seed)
+        self.network = Network(graph, config=network_config, seed=wseed)
+        self.testbed = PeeringTestbed(self.network, seed=wseed)
         victim_sites = self.testbed.pick_sites(cfg.victim_sites)
         hijacker_sites = self.testbed.pick_sites(
             cfg.hijacker_sites, exclude=victim_sites
@@ -332,14 +385,14 @@ class HijackExperiment:
             cfg.probe_depth, cfg.hijack_prefix.length - cfg.prefix.length
         )
         self.tracker = OriginTracker(self.network, cfg.prefix, probe_depth=probe_depth)
-        self.monitors = deploy_monitors(self.network, seed=cfg.seed, **cfg.monitors)
+        self.monitors = deploy_monitors(self.network, seed=wseed, **cfg.monitors)
         if cfg.churn is not None:
-            self.churn = BackgroundChurn(self.network, cfg.churn, seed=cfg.seed)
+            self.churn = BackgroundChurn(self.network, cfg.churn, seed=wseed)
         self.controller = BGPController(
             self.network.engine,
             [self.victim.speaker],
             programming_delay=cfg.controller_delay,
-            rng=SeededRNG(cfg.seed).substream("controller"),
+            rng=SeededRNG(wseed).substream("controller"),
         )
         helpers = None
         helper_asns: List[int] = []
@@ -351,11 +404,11 @@ class HijackExperiment:
                         self.network.engine,
                         [self.network.speaker(asn)],
                         programming_delay=cfg.controller_delay,
-                        rng=SeededRNG(cfg.seed).substream("helper-controller", asn),
+                        rng=SeededRNG(wseed).substream("helper-controller", asn),
                     )
                     for asn in helper_asns
                 ],
-                rng=SeededRNG(cfg.seed).substream("helper-fleet"),
+                rng=SeededRNG(wseed).substream("helper-fleet"),
             )
         # Helpers announce by agreement → whitelist them as origins.  For
         # forged-path experiments, the victim's transit sites are the only
@@ -412,7 +465,7 @@ class HijackExperiment:
                 self.network,
                 cfg.prefix,
                 probe_depth=probe_depth,
-                value_fn=self._make_path_presence_fn(self.hijacker.asn),
+                value_fn=PathPresenceProbe(self.hijacker.asn),
             )
         self._setup_done = True
         self.phase_walls["setup"] = time.perf_counter() - wall_start
@@ -436,21 +489,6 @@ class HijackExperiment:
             candidates, key=lambda a: (graph.node(a).tier, -graph.degree(a), a)
         )
         return sorted(ranked[:count])
-
-    @staticmethod
-    def _make_path_presence_fn(target_asn: int):
-        """Tracker value: is ``target_asn`` on the selected path (MitM)?"""
-
-        def on_path(speaker, probe):
-            route = speaker.resolve(probe)
-            if route is None:
-                return False
-            if speaker.asn == target_asn:
-                # The attacker always "routes via" itself for forged space.
-                return bool(route.is_local)
-            return target_asn in route.as_path
-
-        return on_path
 
     # ----------------------------------------------------------------- helpers
 
@@ -487,18 +525,18 @@ class HijackExperiment:
 
     # --------------------------------------------------------------------- run
 
-    def run(self) -> ExperimentResult:
-        """Execute all three phases and collect the measurements."""
-        cfg = self.config
-        self.setup()
-        network, engine = self.network, self.network.engine
-        result = ExperimentResult()
-        result.seed = cfg.seed
-        result.prefix = cfg.prefix
-        result.victim_asn = self.victim.asn
-        result.hijacker_asn = self.hijacker.asn
+    def run_phase1(self) -> None:
+        """Phase-1: legitimate announcement, convergence, LG baseline.
 
-        # Phase-1: legitimate announcement, wait for convergence + LG baseline.
+        Idempotent, and public because checkpoint capture drives exactly
+        phases 0–1: the state after this call is the quiescent converged
+        Internet that :mod:`repro.testbed.checkpoint` snapshots.
+        """
+        if self._phase1_done:
+            return
+        self.setup()
+        cfg = self.config
+        network = self.network
         wall_mark = time.perf_counter()
         self.artemis.start()
         if self.churn is not None:
@@ -519,13 +557,112 @@ class HijackExperiment:
             raise ExperimentError(
                 f"false alarm during setup: {self.artemis.alerts[0]!r}"
             )
+        self._phase1_done = True
+        self.phase_walls["phase1"] = time.perf_counter() - wall_mark
+
+    def _warm_restore(self) -> None:
+        """Skip phases 0–1 by forking a checkpoint of the converged world."""
+        if self._phase1_done:
+            return
+        from repro.testbed.checkpoint import acquire_checkpoint
+
+        wall_mark = time.perf_counter()
+        fork = acquire_checkpoint(self.config).fork()
+        self._adopt_world(fork)
+        self.phase_walls["restore"] = time.perf_counter() - wall_mark
+
+    def _adopt_world(self, fork: "HijackExperiment") -> None:
+        """Take over a forked experiment's world as this run's own.
+
+        Everything built by phases 0–1 comes from the fork; the pieces that
+        are run-scoped — the fault injector (seeded by the *run* seed and
+        armed at the hijack instant) and this experiment's config — are
+        built fresh here, which is also why the capture-time config may
+        differ from ours in exactly those fields (see ``world_config``).
+        """
+        cfg = self.config
+        self.network = fork.network
+        self.testbed = fork.testbed
+        self.victim = fork.victim
+        self.hijacker = fork.hijacker
+        self.monitors = fork.monitors
+        self.controller = fork.controller
+        self.artemis = fork.artemis
+        self.supervisor = fork.supervisor
+        self.tracker = fork.tracker
+        self.path_tracker = fork.path_tracker
+        self.churn = fork.churn
+        if cfg.faults is not None:
+            self.injector = FaultInjector(
+                self.network, self.monitors, cfg.faults, seed=cfg.seed
+            )
+        self._setup_done = True
+        self._phase1_done = True
+
+    def _iter_world_rngs(self):
+        """Every RNG stream owned by the simulated world, in a fixed order.
+
+        Used by :meth:`_reseed_for_run` at the hijack instant.  Order does
+        not matter for correctness (each stream is re-keyed independently
+        from its own ``base_seed``), but keeping it fixed makes the walk
+        auditable.  The fault injector is deliberately absent: its stream
+        is already keyed by the run seed at construction.
+        """
+        network = self.network
+        yield network.rng
+        for asn in sorted(network.speakers):
+            yield network.speakers[asn].rng
+        for session in network.sessions:
+            yield session.rng
+        yield self.testbed.rng
+        if self.churn is not None:
+            yield self.churn.rng
+        yield self.controller.rng
+        monitors = self.monitors
+        yield monitors.ris.rng
+        yield monitors.bgpmon.rng
+        yield monitors.periscope.rng
+        for lg in monitors.periscope.looking_glasses:
+            yield lg.rng
+        if monitors.batch is not None:
+            yield monitors.batch.rng
+        helpers = self.artemis.mitigation.helpers
+        if helpers is not None:
+            yield helpers.rng
+            for controller in helpers.controllers:
+                yield controller.rng
+
+    def _reseed_for_run(self, run_seed: int) -> None:
+        """Re-key every world RNG stream for one run of a shared world.
+
+        Called at the hijack instant in *both* the cold and the warm path
+        whenever ``world_seed`` is pinned, so a run forked from a checkpoint
+        draws exactly what its cold twin draws from the attack onward —
+        regardless of how many values phase 1 consumed in either path.
+        """
+        for rng in self._iter_world_rngs():
+            rng.reseed_run(run_seed)
+
+    def run(self) -> ExperimentResult:
+        """Execute all three phases and collect the measurements."""
+        cfg = self.config
+        if cfg.warm_start or cfg.checkpoint is not None:
+            self._warm_restore()
+        else:
+            self.run_phase1()
+        network, engine = self.network, self.network.engine
+        result = ExperimentResult()
+        result.seed = cfg.seed
+        result.prefix = cfg.prefix
+        result.victim_asn = self.victim.asn
+        result.hijacker_asn = self.hijacker.asn
 
         # Phase-2: hijack and detection.
-        now_wall = time.perf_counter()
-        self.phase_walls["phase1"] = now_wall - wall_mark
-        wall_mark = now_wall
+        wall_mark = time.perf_counter()
         hijack_time = engine.now
         result.hijack_time = hijack_time
+        if cfg.world_seed is not None:
+            self._reseed_for_run(cfg.seed)
         if self.injector is not None:
             # Fault times are relative to the hijack; arming first gives
             # at=0 faults an earlier event sequence than the announcement,

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.perf import COUNTERS, FIELDS, PerfCounters, format_profile, profile_rows
+from repro.perf import (
+    COUNTERS,
+    FIELDS,
+    GAUGES,
+    PerfCounters,
+    format_profile,
+    profile_rows,
+)
 from repro.sim.engine import Engine
 
 
@@ -16,7 +23,7 @@ class TestPerfCounters:
         counters.events_scheduled = 7
         counters.path_intern_hits = 3
         counters.reset()
-        assert counters.as_dict() == {field: 0 for field in FIELDS}
+        assert counters.as_dict() == {field: 0 for field in FIELDS + GAUGES}
 
     def test_merge_adds_snapshot(self):
         counters = PerfCounters()
@@ -30,6 +37,26 @@ class TestPerfCounters:
         counters.merge({"not_a_counter": 99, "updates_processed": 1})
         assert counters.updates_processed == 1
         assert "not_a_counter" not in counters.as_dict()
+
+    def test_merge_takes_max_for_gauges(self):
+        counters = PerfCounters()
+        counters.peak_rss_kb = 500
+        counters.merge({"peak_rss_kb": 300, "checkpoint_bytes": 1024})
+        assert counters.peak_rss_kb == 500
+        counters.merge({"peak_rss_kb": 900})
+        assert counters.peak_rss_kb == 900
+        assert counters.checkpoint_bytes == 1024
+
+    def test_delta_since_subtracts_counters_passes_gauges(self):
+        counters = PerfCounters()
+        counters.events_processed = 10
+        counters.peak_rss_kb = 400
+        before = counters.as_dict()
+        counters.events_processed = 25
+        counters.peak_rss_kb = 700
+        delta = counters.delta_since(before)
+        assert delta["events_processed"] == 15
+        assert delta["peak_rss_kb"] == 700
 
     def test_tombstone_ratio(self):
         counters = PerfCounters()
@@ -67,10 +94,19 @@ class TestGlobalWiring:
 
     def test_profile_rows_cover_all_fields(self):
         names = [name for name, _value in profile_rows()]
-        for field in FIELDS:
+        for field in FIELDS + GAUGES:
             assert field.replace("_", " ") in names
         assert "allocations avoided" in names
         assert "queue tombstone ratio" in names
+
+    def test_profile_rows_sample_memory_gauges(self):
+        from repro.net.prefix import Prefix
+
+        Prefix.parse("10.99.0.0/16")  # the parse cache is certainly non-empty
+        rows = dict(profile_rows())
+        assert int(rows["prefix cache size"]) > 0
+        # resource.getrusage is available on every platform CI runs on.
+        assert int(rows["peak rss kb"]) > 0
 
     def test_profile_rows_with_wall_time(self):
         names = [name for name, _value in profile_rows(wall_seconds=1.5)]
