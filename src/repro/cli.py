@@ -13,6 +13,9 @@ Commands
     Render the SIGCOMM demo's geographic frames (ASCII and optional JSON).
 ``topology``
     Generate a synthetic Internet and write it as a CAIDA as-rel file.
+``replay``
+    Stream a recorded feed trace (``experiment --record-trace``) back into
+    a standalone detection plane — paced or flat-out, no simulator.
 """
 
 from __future__ import annotations
@@ -125,6 +128,7 @@ def _scenario_from_args(args: argparse.Namespace, seed: Optional[int] = None) ->
         failover_to_batch=args.failover_to_batch,
         world_seed=getattr(args, "world_seed", None),
         warm_start=getattr(args, "warm_start", False),
+        record_trace=getattr(args, "record_trace", None),
     )
     path = getattr(args, "checkpoint", None)
     if path is not None:
@@ -147,10 +151,80 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     result = experiment.run()
     args._phase_walls = dict(result.phase_walls)
     print(render_experiment_report(result))
+    if experiment.recorder is not None:
+        print(
+            f"\ntrace recorded: {experiment.recorder.records} events "
+            f"-> {args.record_trace}"
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle, indent=2)
         print(f"\nresult written to {args.json}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded trace through a standalone detection plane."""
+    from repro.errors import FeedError
+    from repro.feeds.replay import ReplaySession
+
+    try:
+        session = ReplaySession(
+            args.trace,
+            speed=args.speed,
+            faults=args.faults,
+            seed=args.seed,
+            supervise=args.supervise,
+        )
+        report = session.run(max_events=args.max_events)
+    except FeedError as error:
+        print(f"replay failed: {error}", file=sys.stderr)
+        return 2
+
+    def fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rows = [
+        ["trace", args.trace],
+        ["speed", "flat-out" if args.speed is None else f"{args.speed:g}x"],
+        ["records read", fmt(report["records_read"])],
+        ["events delivered", fmt(report["events_delivered"])],
+        ["events dropped (faults)", fmt(report["events_dropped"])],
+        ["duplicate deliveries", fmt(report["duplicate_events_skipped"])],
+        ["pending-copy backlog peak", fmt(report["backlog_peak"])],
+        ["wall seconds", fmt(report["wall_seconds"])],
+        ["updates / sec", fmt(report["updates_per_second"])],
+        ["alerts", fmt(report["alerts"])],
+        ["detection delay (s)", fmt(report["detection_delay"])],
+        ["first alert wall (s)", fmt(report["time_to_first_alert_wall"])],
+        ["alert digest", report["alert_digest"][:16]],
+        ["peak RSS (KB)", fmt(report["peak_rss_kb"])],
+    ]
+    print(format_table(["metric", "value"], rows, title="trace replay"))
+    if report["per_source_delay_final"]:
+        print()
+        print(
+            format_table(
+                ["source", "delay (s)"],
+                [
+                    [source, delay]
+                    for source, delay in sorted(
+                        report["per_source_delay_final"].items()
+                    )
+                ],
+                title="per-source detection delay",
+                precision=2,
+            )
+        )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nreport written to {args.json}")
     return 0
 
 
@@ -319,7 +393,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_world_arguments(experiment)
     experiment.add_argument("--json", default=None, help="write result JSON here")
+    experiment.add_argument(
+        "--record-trace",
+        default=None,
+        metavar="PATH",
+        help="archive the detection plane's feed as a replayable trace "
+        "(replay it with the `replay` command); requires a cold start",
+    )
     experiment.set_defaults(func=cmd_experiment)
+
+    replay = commands.add_parser(
+        "replay", help="replay a recorded feed trace into detection"
+    )
+    replay.add_argument("trace", help="trace file from experiment --record-trace")
+    replay.add_argument(
+        "--speed",
+        type=float,
+        default=None,
+        metavar="N",
+        help="pace at N× recorded time (default: flat-out)",
+    )
+    replay.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="fault plan applied to the replay path (armed at the recorded "
+        "hijack instant; delay/flap entries are reported as skipped)",
+    )
+    replay.add_argument(
+        "--seed", type=int, default=0, help="seed for fault-channel draws"
+    )
+    replay.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run the source supervisor against the replay clock",
+    )
+    replay.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="K",
+        help="stop after K records (resumable ingest smoke checks)",
+    )
+    replay.add_argument("--json", default=None, help="write the report JSON here")
+    replay.set_defaults(func=cmd_replay)
 
     suite = commands.add_parser("suite", help="run a suite of experiments")
     _add_world_arguments(suite)

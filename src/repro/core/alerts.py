@@ -124,8 +124,16 @@ class AlertManager:
         announced_prefix: Prefix,
         offender_asn: Optional[int],
         event: FeedEvent,
-    ) -> Tuple[HijackAlert, bool]:
-        """Record evidence; returns ``(alert, is_new_incident)``."""
+        allow_new: bool = True,
+    ) -> Tuple[Optional[HijackAlert], bool]:
+        """Record evidence; returns ``(alert, is_new_incident)``.
+
+        With ``allow_new=False`` the event may attach as evidence to the
+        incident it matches, but never founds a fresh alert — the caller
+        has decided this event carries no new information (a byte-identical
+        duplicate delivery) and must not resurrect a resolved incident.
+        Returns ``(None, False)`` when founding would have been required.
+        """
         key = (alert_type, owned_prefix, announced_prefix, offender_asn)
         existing = self._by_key.get(key)
         if existing is not None:
@@ -137,6 +145,8 @@ class AlertManager:
             if existing.status is not AlertStatus.RESOLVED or recently_resolved:
                 existing.add_evidence(event)
                 return existing, False
+        if not allow_new:
+            return None, False
         alert = HijackAlert(
             alert_type,
             owned_prefix,

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.alerts import AlertManager, AlertType, HijackAlert
 from repro.core.config import ArtemisConfig
 from repro.feeds.events import FeedEvent
+from repro.perf import COUNTERS as _COUNTERS
 
 AlertCallback = Callable[[HijackAlert], None]
 
@@ -47,6 +48,17 @@ class DetectionService:
         self.supervisor = None
         #: Per alert id: sorted tuple of live source names at alert time.
         self.live_at_alert: Dict[int, Tuple[str, ...]] = {}
+        #: Per incident pattern: content keys of evidence already ingested.
+        #: A duplicating transport (or a replayed trace under a ``dup``
+        #: fault) can deliver the *byte-identical* event twice.  Copies are
+        #: still kept on record as evidence while the incident accepts it
+        #: (operators want every delivery on the books), but a copy never
+        #: *founds* an incident: a duplicated-then-reordered copy surfacing
+        #: after its original's alert was resolved (and past cooldown) must
+        #: not resurrect the incident and re-fire operator callbacks.
+        self._evidence_seen: Dict[Tuple, set] = {}
+        #: Byte-identical duplicate deliveries detected (attached-or-dropped).
+        self.duplicate_events_skipped = 0
         self.started = False
         self._subscriptions = []
 
@@ -92,9 +104,21 @@ class DetectionService:
         if verdict is None:
             return
         alert_type, owned_prefix, offender = verdict
+        pattern = (alert_type, owned_prefix, event.prefix, offender)
+        seen = self._evidence_seen.setdefault(pattern, set())
+        content = event.content_key()
+        duplicate = content in seen
+        if duplicate:
+            self.duplicate_events_skipped += 1
+            _COUNTERS.duplicate_evidence_skipped += 1
+        else:
+            seen.add(content)
         alert, is_new = self.alert_manager.ingest(
-            alert_type, owned_prefix, event.prefix, offender, event
+            alert_type, owned_prefix, event.prefix, offender, event,
+            allow_new=not duplicate,
         )
+        if alert is None:
+            return
         per_source = self.first_evidence.setdefault(alert.id, {})
         if event.source not in per_source:
             per_source[event.source] = event.delivered_at

@@ -25,6 +25,16 @@ from repro.feeds.dumpfile import FeedRecorder, read_events, write_events
 from repro.feeds.events import FeedEvent
 from repro.feeds.interest import InterestIndex, Subscription
 from repro.feeds.periscope import LookingGlass, PeriscopeAPI
+from repro.feeds.replay import (
+    ReplaySession,
+    ReplayTap,
+    Trace,
+    TraceError,
+    TraceRecorder,
+    TraceWriter,
+    alert_sequence_digest,
+    load_trace,
+)
 from repro.feeds.ris import RISLiveStream
 from repro.feeds.stream import StreamingService
 
@@ -38,10 +48,18 @@ __all__ = [
     "MonitorDeployment",
     "PeriscopeAPI",
     "RISLiveStream",
+    "ReplaySession",
+    "ReplayTap",
     "RouteCollector",
     "StreamingService",
     "Subscription",
+    "Trace",
+    "TraceError",
+    "TraceRecorder",
+    "TraceWriter",
+    "alert_sequence_digest",
     "deploy_monitors",
+    "load_trace",
     "read_events",
     "write_events",
 ]

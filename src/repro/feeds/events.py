@@ -10,6 +10,15 @@ Two timestamps matter for the paper's delay analysis:
 * ``delivered_at`` — when the consumer (ARTEMIS, a baseline) received the
   event.  ``delivered_at - observed_at`` is the source's latency, and the
   detection delay measured in experiments is ``delivered_at - hijack_time``.
+
+Both timestamps are **event time** — the clock of the run that produced
+the event — and stay attached to the event forever: a recorded trace
+replayed at 10x (or flat-out) carries the original values.  Consumers
+must therefore compute every lag, staleness, or delay as a difference of
+event timestamps (or against a clock advanced *by* the event stream,
+e.g. :class:`~repro.feeds.replay.ReplayClock`) and never against host
+wall-clock, or the arithmetic breaks the moment ingestion speed differs
+from 1x.
 """
 
 from __future__ import annotations
@@ -78,6 +87,27 @@ class FeedEvent:
     @property
     def is_announcement(self) -> bool:
         return self.kind == ANNOUNCE
+
+    def content_key(self) -> Tuple:
+        """Byte-identity of the event: every recorded field, both timestamps.
+
+        Two events with equal keys are indistinguishable deliveries of the
+        same observation — the situation a duplicating transport (or a
+        replayed trace under a ``dup`` fault) creates.  Consumers use this
+        to make ingestion idempotent for such copies; two *distinct*
+        deliveries of the same routing fact (e.g. a session retransmit
+        stamped with its own delivery time) keep distinct keys.
+        """
+        return (
+            self.source,
+            self.collector,
+            self.vantage_asn,
+            self.kind,
+            self.prefix,
+            self.as_path,
+            self.observed_at,
+            self.delivered_at,
+        )
 
     def __repr__(self) -> str:
         path = " ".join(str(a) for a in self.as_path) if self.as_path else "-"

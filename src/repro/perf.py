@@ -16,6 +16,10 @@ What the counters capture:
 * **interning** — AS-path tuple and prefix-parse cache hit rates;
 * **checkpointing** — restores performed and copy-on-write forks taken by
   restored speakers (how much of the shared checkpoint a run privatised);
+* **trace replay** — records read and events delivered/dropped on the
+  pure-ingest path (:mod:`repro.feeds.replay`), byte-identical duplicate
+  deliveries flagged by detection (barred from founding incidents), and
+  the peak pending-copy backlog gauge;
 * **memory gauges** — peak RSS, intern-table populations and serialized
   checkpoint size, sampled with :func:`sample_memory` rather than bumped.
 
@@ -58,6 +62,12 @@ FIELDS: Tuple[str, ...] = (
     "checkpoint_restores",
     "cow_row_forks",
     "cow_table_forks",
+    # trace replay (the pure-ingest path: no engine events here, so the
+    # replay throughput headline needs its own counters)
+    "replay_records_read",
+    "replay_events_delivered",
+    "replay_events_dropped",
+    "duplicate_evidence_skipped",
 )
 
 #: Gauge fields: sampled point-in-time values, merged with ``max`` instead
@@ -67,6 +77,7 @@ GAUGES: Tuple[str, ...] = (
     "path_cache_size",
     "prefix_cache_size",
     "checkpoint_bytes",
+    "replay_backlog_peak",
 )
 
 

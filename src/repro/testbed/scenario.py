@@ -28,6 +28,7 @@ from repro.errors import ExperimentError
 from repro.faults import FaultInjector, FaultPlan, load_plan
 from repro.feeds.deploy import MonitorDeployment, deploy_monitors
 from repro.feeds.health import SourceSupervisor
+from repro.feeds.replay import TraceRecorder
 from repro.internet.churn import BackgroundChurn, ChurnConfig
 from repro.internet.network import Network, NetworkConfig
 from repro.internet.tracker import OriginTracker
@@ -98,6 +99,7 @@ class ScenarioConfig:
         world_seed: Optional[int] = None,
         warm_start: bool = False,
         checkpoint=None,
+        record_trace: Optional[str] = None,
     ):
         self.prefix = Prefix.parse(prefix)
         #: What the hijacker announces; defaults to the owned prefix itself
@@ -209,6 +211,14 @@ class ScenarioConfig:
         #: a :class:`~repro.testbed.checkpoint.Checkpoint` instance or a
         #: path to one saved with ``save_checkpoint``.  Implies warm start.
         self.checkpoint = checkpoint
+        #: Path to archive this run's detection-plane feed as a replayable
+        #: trace (:mod:`repro.feeds.replay`).  The recorder taps the same
+        #: sources with the same owned-prefix filter detection uses, adds
+        #: no randomness and schedules nothing, so a recorded run stays
+        #: bit-identical to an unrecorded one.  Requires a cold start: the
+        #: trace must include the phase-1 baseline events, which a forked
+        #: checkpoint has already consumed.
+        self.record_trace = record_trace
 
 
 class ExperimentResult:
@@ -322,6 +332,7 @@ class HijackExperiment:
         self.artemis: Optional[Artemis] = None
         self.supervisor: Optional[SourceSupervisor] = None
         self.injector: Optional[FaultInjector] = None
+        self.recorder: Optional[TraceRecorder] = None
         self.tracker: Optional[OriginTracker] = None
         #: Only for forged-origin runs: tracks hijacker-on-path instead of
         #: origin (the origin never changes in a type-1 hijack).
@@ -647,8 +658,33 @@ class HijackExperiment:
         """Execute all three phases and collect the measurements."""
         cfg = self.config
         if cfg.warm_start or cfg.checkpoint is not None:
+            if cfg.record_trace is not None:
+                raise ExperimentError(
+                    "trace recording requires a cold start: the trace must "
+                    "include the phase-1 baseline events, which a forked "
+                    "checkpoint has already consumed"
+                )
             self._warm_restore()
         else:
+            if cfg.record_trace is not None and self.recorder is None:
+                # Attach before phase 1 so the trace carries the baseline
+                # (legitimate) events too — a replay then reconstructs the
+                # same monitoring lag tables as the live run, not just the
+                # hijack tail.
+                self.setup()
+                self.recorder = TraceRecorder(
+                    cfg.record_trace,
+                    meta={
+                        "seed": cfg.seed,
+                        "prefix": str(cfg.prefix),
+                        "hijack_prefix": str(cfg.hijack_prefix),
+                    },
+                    config=self.artemis.config,
+                )
+                self.recorder.attach_all(
+                    self.artemis.sources,
+                    prefixes=self.artemis.config.owned_prefixes,
+                )
             self.run_phase1()
         network, engine = self.network, self.network.engine
         result = ExperimentResult()
@@ -774,6 +810,12 @@ class HijackExperiment:
         if self.injector is not None:
             result.faults_injected = self.injector.faults_applied
             result.fault_log = [list(entry) for entry in self.injector.log]
+        if self.recorder is not None:
+            # Seal the trace; the footer pins the hijack instant so a replay
+            # can re-derive detection delays against the same reference.
+            self.recorder.close(
+                meta={"hijack_time": hijack_time, "end_time": engine.now}
+            )
         self.phase_walls["phase3"] = time.perf_counter() - wall_mark
         result.phase_walls = dict(self.phase_walls)
         return result
