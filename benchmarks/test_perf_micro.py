@@ -135,6 +135,38 @@ def test_perf_full_experiment_small(benchmark):
     benchmark.pedantic(run, rounds=3, iterations=1)
 
 
+def test_generator_build_cost_stays_linear():
+    """Scaling guard: topology generation must not walk tier-2 per stub.
+
+    The stub-attachment loop used to rebuild its same-region/other-region
+    provider pools from scratch for every stub — O(stubs x tier2) node
+    lookups, the dominant generator cost at 10k ASes (hundreds of
+    thousands of lookups for the config below).  With the pools
+    precomputed per region, lookups stay proportional to the AS count.
+    The bound is deliberately loose: it only has to rule out the
+    superlinear regime.
+    """
+    from repro.topology.generator import generate_internet
+    from repro.topology.graph import ASGraph
+
+    calls = [0]
+    original = ASGraph.node
+
+    def counting(self, asn):
+        calls[0] += 1
+        return original(self, asn)
+
+    config = GeneratorConfig(num_tier1=8, num_tier2=150, num_stubs=600)
+    ASGraph.node = counting
+    try:
+        generate_internet(config, seed=3)
+    finally:
+        ASGraph.node = original
+    assert calls[0] < 8 * config.total_ases, (
+        f"generator made {calls[0]} node lookups for {config.total_ases} ASes"
+    )
+
+
 # --------------------------------------------------------- feed fan-out paths
 
 

@@ -12,7 +12,11 @@ Commands
 ``demo``
     Render the SIGCOMM demo's geographic frames (ASCII and optional JSON).
 ``topology``
-    Generate a synthetic Internet and write it as a CAIDA as-rel file.
+    Generate a synthetic Internet and write it as a CAIDA as-rel file,
+    optionally through the digest-keyed on-disk cache (``--cache-dir``).
+``scale``
+    Run the pinned sharded hijack scenario: partition the AS graph across
+    ``--shards N`` worker processes (bit-identical to ``--shards 1``).
 ``replay``
     Stream a recorded feed trace (``experiment --record-trace``) back into
     a standalone detection plane — paced or flat-out, no simulator.
@@ -99,6 +103,13 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
         "world serves a whole sweep of run seeds bit-identically",
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk topology cache: graphs are stored per (params, seed) "
+        "digest, so suite workers and repeated runs skip regeneration",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="print simulation perf counters (events/sec etc.) when done",
@@ -129,6 +140,7 @@ def _scenario_from_args(args: argparse.Namespace, seed: Optional[int] = None) ->
         world_seed=getattr(args, "world_seed", None),
         warm_start=getattr(args, "warm_start", False),
         record_trace=getattr(args, "record_trace", None),
+        cache_dir=getattr(args, "cache_dir", None),
     )
     path = getattr(args, "checkpoint", None)
     if path is not None:
@@ -369,14 +381,87 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_topology(args: argparse.Namespace) -> int:
     """Generate a synthetic Internet as a CAIDA as-rel file."""
-    graph = generate_internet(
-        GeneratorConfig(
+    if args.output is None and args.cache_dir is None:
+        print(
+            "topology: need an output path, --cache-dir, or both",
+            file=sys.stderr,
+        )
+        return 2
+    config = GeneratorConfig(
+        num_tier1=args.tier1, num_tier2=args.tier2, num_stubs=args.stubs
+    )
+    if args.cache_dir is not None:
+        from repro.topology.cache import cache_path, load_or_build_graph
+
+        graph = load_or_build_graph(config, args.seed, args.cache_dir)
+        print(f"cached at {cache_path(args.cache_dir, config, args.seed)}")
+    else:
+        graph = generate_internet(config, seed=args.seed)
+    if args.output is not None:
+        save_caida(graph, args.output)
+        print(f"{len(graph)} ASes, {graph.link_count()} links -> {args.output}")
+    else:
+        print(f"{len(graph)} ASes, {graph.link_count()} links")
+    return 0
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    """Run the pinned sharded hijack scenario (see repro.shard)."""
+    from repro.shard.scenario import ShardScenarioConfig, run_shard_scenario
+
+    config = ShardScenarioConfig(
+        topology=GeneratorConfig(
             num_tier1=args.tier1, num_tier2=args.tier2, num_stubs=args.stubs
         ),
         seed=args.seed,
+        num_shards=args.shards,
+        compact=args.compact,
+        num_monitors=args.monitors,
+        cache_dir=args.cache_dir,
     )
-    save_caida(graph, args.output)
-    print(f"{len(graph)} ASes, {graph.link_count()} links -> {args.output}")
+    started = time.perf_counter()
+    result = run_shard_scenario(config)
+    wall = time.perf_counter() - started
+    args._phase_walls = {"scenario": wall}
+
+    def fmt(value) -> str:
+        return "-" if value is None else f"{value:.3f}"
+
+    rows = [
+        ["ASes", GeneratorConfig(
+            num_tier1=args.tier1, num_tier2=args.tier2, num_stubs=args.stubs
+        ).total_ases],
+        ["shards", args.shards],
+        ["rib", "compact" if args.compact else "classic"],
+        ["victim", f"AS{result.victim}"],
+        ["hijacker", f"AS{result.hijacker}"],
+        ["helper", f"AS{result.helper}"],
+        ["origin flips", len(result.flips)],
+        ["detection delay (s)", fmt(result.detection_delay)],
+        ["updates sent", result.stats.get("updates_sent", 0)],
+        ["wall seconds", f"{wall:.3f}"],
+        ["digest", result.digest[:16]],
+    ]
+    print(format_table(["metric", "value"], rows, title="sharded scenario"))
+    if args.json:
+        payload = {
+            "shards": args.shards,
+            "compact": args.compact,
+            "seed": args.seed,
+            "victim": result.victim,
+            "hijacker": result.hijacker,
+            "helper": result.helper,
+            "monitors": list(result.monitors),
+            "detection_delay": result.detection_delay,
+            "flips": len(result.flips),
+            "stats": dict(result.stats),
+            "wall_seconds": wall,
+            "digest": result.digest,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nresult written to {args.json}")
     return 0
 
 
@@ -479,8 +564,58 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("--tier1", type=int, default=5)
     topology.add_argument("--tier2", type=int, default=25)
     topology.add_argument("--stubs", type=int, default=90)
-    topology.add_argument("output", help="output path")
+    topology.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="build through the on-disk topology cache (digest-keyed); "
+        "with a cache dir the output path is optional",
+    )
+    topology.add_argument("output", nargs="?", default=None, help="output path")
     topology.set_defaults(func=cmd_topology)
+
+    scale = commands.add_parser(
+        "scale", help="run the pinned sharded hijack scenario"
+    )
+    scale.add_argument("--seed", type=int, default=1, help="scenario seed")
+    scale.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to partition the AS graph across "
+        "(1 = in-process reference path; outcomes are bit-identical)",
+    )
+    scale.add_argument(
+        "--compact",
+        action="store_true",
+        help="use the array-backed compact Adj-RIB-In speakers",
+    )
+    scale.add_argument("--tier1", type=int, default=8, help="number of tier-1 ASes")
+    scale.add_argument("--tier2", type=int, default=60, help="number of tier-2 ASes")
+    scale.add_argument("--stubs", type=int, default=250, help="number of stub ASes")
+    scale.add_argument(
+        "--monitors", type=int, default=8, help="data-plane monitor vantages"
+    )
+    scale.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk topology cache directory",
+    )
+    scale.add_argument(
+        "--profile",
+        action="store_true",
+        help="print simulation perf counters (merged across shards)",
+    )
+    scale.add_argument(
+        "--profile-json",
+        default=None,
+        metavar="PATH",
+        help="write merged perf counters and wall time as JSON here",
+    )
+    scale.add_argument("--json", default=None, help="write result JSON here")
+    scale.set_defaults(func=cmd_scale)
 
     return parser
 

@@ -20,6 +20,9 @@ What the counters capture:
   pure-ingest path (:mod:`repro.feeds.replay`), byte-identical duplicate
   deliveries flagged by detection (barred from founding incidents), and
   the peak pending-copy backlog gauge;
+* **sharded propagation** — cross-shard messages/bytes exchanged between
+  worker processes, sync-barrier stalls (windows a shard ran with nothing
+  to do), windows executed, and the per-shard peak RSS gauge;
 * **memory gauges** — peak RSS, intern-table populations and serialized
   checkpoint size, sampled with :func:`sample_memory` rather than bumped.
 
@@ -68,6 +71,12 @@ FIELDS: Tuple[str, ...] = (
     "replay_events_delivered",
     "replay_events_dropped",
     "duplicate_evidence_skipped",
+    # sharded propagation (conservative-time windows across worker
+    # processes; bumped by the coordinator and by each shard worker)
+    "cross_shard_messages",
+    "cross_shard_bytes",
+    "sync_barrier_stalls",
+    "shard_windows",
 )
 
 #: Gauge fields: sampled point-in-time values, merged with ``max`` instead
@@ -78,6 +87,7 @@ GAUGES: Tuple[str, ...] = (
     "prefix_cache_size",
     "checkpoint_bytes",
     "replay_backlog_peak",
+    "shard_rss_peak_kb",
 )
 
 

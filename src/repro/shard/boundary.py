@@ -1,0 +1,256 @@
+"""Cross-shard sessions: mirrored state, batched epoch-stamped bundles.
+
+A cut link's :class:`~repro.bgp.session.Session` is replaced by a
+:class:`BoundarySession` on **both** endpoint shards.  Each mirror holds the
+same RNG substream (purely key-derived from the world seed), the same delay
+spec and the same per-direction FIFO clear-times.  The trick that preserves
+bit-identity: *neither* side samples the delay at send time.  A send is
+merely recorded ``(time, sender, message)``; at the next synchronization
+barrier both mirrors integrate the merged two-direction record stream in
+``(time, sender)`` order and sample the delay **for every record** — so both
+mirrors consume their (identical) RNG streams in exactly the order the
+single-process session would have, and the receiving side schedules each
+delivery at exactly the arrival time the single-process run computes.
+
+Records travel between shards inside :class:`DeliveryBundle`\\ s, stamped
+with the synchronization epoch that produced them; a worker refuses a
+bundle from any epoch but the one it is about to integrate, which turns
+transport-ordering bugs into loud failures instead of silent divergence.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bgp.messages import UpdateMessage, intern_path
+from repro.bgp.session import ActivityTracker
+from repro.errors import BGPError, SimulationError
+from repro.perf import COUNTERS as _C
+from repro.sim.engine import Engine
+from repro.sim.latency import Delay
+from repro.sim.rng import SeededRNG
+
+#: One recorded transmission: ``(send_time, sender_asn, message)``.
+SendRecord = Tuple[float, int, UpdateMessage]
+
+
+class DeliveryBundle:
+    """All of one cut link's records from one synchronization epoch."""
+
+    __slots__ = ("link", "epoch", "records")
+
+    def __init__(self, link: Tuple[int, int], epoch: int, records: Sequence[SendRecord]):
+        self.link = link
+        self.epoch = epoch
+        self.records = tuple(records)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DeliveryBundle link=AS{self.link[0]}<->AS{self.link[1]} "
+            f"epoch={self.epoch} records={len(self.records)}>"
+        )
+
+
+def reintern_message(message: UpdateMessage) -> UpdateMessage:
+    """Re-intern a message's AS-path tuples after crossing a process boundary.
+
+    ``Announcement`` is slotted with no ``__reduce__``: unpickling bypasses
+    ``__init__`` and therefore the path-interning cache, so without this a
+    worker would accumulate duplicate path tuples and lose the identity-based
+    fast paths downstream.
+    """
+    for announcement in message.announcements:
+        announcement.as_path = intern_path(announcement.as_path)
+    return message
+
+
+class RemoteEndpoint:
+    """Placeholder for the far endpoint of a cut link (lives on another shard)."""
+
+    __slots__ = ("asn",)
+
+    def __init__(self, asn: int):
+        self.asn = asn
+
+    def deliver(self, sender_asn: int, message: UpdateMessage) -> None:
+        raise BGPError(
+            f"AS{self.asn} is remote; deliveries must travel via bundles"
+        )
+
+    def __repr__(self) -> str:
+        return f"<RemoteEndpoint AS{self.asn}>"
+
+
+class BoundarySession:
+    """One shard's mirror of a cut link.
+
+    Interface-compatible with :class:`~repro.bgp.session.Session` as far as
+    the speaker is concerned (``other``/``send``/``up``), but ``send`` only
+    records; delivery scheduling happens in :meth:`integrate`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        a,
+        b,
+        delay: Delay,
+        rng: SeededRNG,
+        tracker: Optional[ActivityTracker] = None,
+    ):
+        if a.asn == b.asn:
+            raise BGPError(f"cannot create a session from AS{a.asn} to itself")
+        self.engine = engine
+        self.a = a
+        self.b = b
+        self.delay = delay
+        self.rng = rng
+        self.tracker = tracker
+        self.up = True
+        self._clear_time = {a.asn: 0.0, b.asn: 0.0}
+        self.messages_sent = 0
+        if isinstance(a, RemoteEndpoint):
+            self.local = b
+            self.remote_asn = a.asn
+        elif isinstance(b, RemoteEndpoint):
+            self.local = a
+            self.remote_asn = b.asn
+        else:
+            raise BGPError("a boundary session needs exactly one remote endpoint")
+        self.local_asn = self.local.asn
+        #: Local sends since the last :meth:`collect`.
+        self._outbox: List[SendRecord] = []
+        #: Collected-but-not-yet-integrated local sends (between the barrier's
+        #: collect and integrate halves).
+        self._pending_local: List[SendRecord] = []
+        #: Activity registry (the owning network's dirty-link set) and this
+        #: session's key in it.  Lets the window step visit only sessions
+        #: with work instead of scanning the whole cut every window — at
+        #: 10k ASes almost every window moves nothing on almost every link.
+        self._active_set: Optional[set] = None
+        self._key: Optional[Tuple[int, int]] = None
+
+    def __deepcopy__(self, memo) -> "BoundarySession":
+        clone = BoundarySession.__new__(BoundarySession)
+        memo[id(self)] = clone
+        clone.engine = copy.deepcopy(self.engine, memo)
+        clone.a = copy.deepcopy(self.a, memo)
+        clone.b = copy.deepcopy(self.b, memo)
+        clone.delay = self.delay
+        clone.rng = copy.deepcopy(self.rng, memo)
+        clone.tracker = copy.deepcopy(self.tracker, memo)
+        clone.up = self.up
+        clone._clear_time = dict(self._clear_time)
+        clone.messages_sent = self.messages_sent
+        clone.local = copy.deepcopy(self.local, memo)
+        clone.remote_asn = self.remote_asn
+        clone.local_asn = self.local_asn
+        clone._outbox = list(self._outbox)
+        clone._pending_local = list(self._pending_local)
+        clone._active_set = copy.deepcopy(self._active_set, memo)
+        clone._key = self._key
+        return clone
+
+    # ------------------------------------------------------------ session API
+
+    def other(self, endpoint_asn: int):
+        if endpoint_asn == self.a.asn:
+            return self.b
+        if endpoint_asn == self.b.asn:
+            return self.a
+        raise BGPError(f"AS{endpoint_asn} is not an endpoint of this session")
+
+    def send(self, sender_asn: int, message: UpdateMessage) -> None:
+        """Record a local transmission; no RNG draw, no scheduling yet."""
+        if not self.up:
+            return
+        if sender_asn != self.local_asn:
+            raise BGPError(
+                f"AS{sender_asn} cannot send on AS{self.local_asn}'s mirror"
+            )
+        self.messages_sent += 1
+        if not self._outbox and self._active_set is not None:
+            self._active_set.add(self._key)
+        self._outbox.append((self.engine.now, sender_asn, message))
+
+    # -------------------------------------------------------------- barrier
+
+    def collect(self) -> List[SendRecord]:
+        """Seal the outbox for shipping; retained for the mirror's own draws."""
+        records = self._outbox
+        if not records:
+            return records
+        self._outbox = []
+        self._pending_local.extend(records)
+        return records
+
+    @property
+    def has_backlog(self) -> bool:
+        return bool(self._outbox or self._pending_local)
+
+    def integrate(self, remote_records: Sequence[SendRecord]) -> None:
+        """Merge both directions' records and replay the session's RNG.
+
+        Every record — local-bound and remote-bound alike — consumes one
+        delay sample and advances its direction's FIFO clear-time, in global
+        ``(send_time, sender)`` order: exactly the consumption order of the
+        single-process session.  Only records *from* the remote side
+        schedule a delivery here; local sends were shipped to (and are
+        scheduled by) the far mirror.
+        """
+        merged = self._pending_local
+        self._pending_local = []
+        if remote_records:
+            merged = merged + [
+                (t, sender, reintern_message(message))
+                for t, sender, message in remote_records
+            ]
+        merged.sort(key=_record_key)
+        clear = self._clear_time
+        remote_asn = self.remote_asn
+        now = self.engine.now
+        for send_time, sender, message in merged:
+            sample = self.delay.sample(self.rng)
+            arrival = sample + send_time
+            previous = clear[sender]
+            if previous > arrival:
+                arrival = previous
+            clear[sender] = arrival
+            if sender != remote_asn:
+                continue
+            self.messages_sent += 1
+            if arrival < now:
+                raise SimulationError(
+                    f"conservative window violated on AS{self.local_asn}<->"
+                    f"AS{remote_asn}: arrival {arrival} < now {now}"
+                )
+            if self.tracker is not None:
+                self.tracker.begin()
+            self.engine.schedule_at(arrival, self._deliver, sender, message)
+
+    def _deliver(self, sender_asn: int, message: UpdateMessage) -> None:
+        _C.deliveries_direct += 1
+        tracker = self.tracker
+        try:
+            if self.up:
+                self.local.deliver(sender_asn, message)
+                if tracker is not None:
+                    tracker.total_messages += 1
+                    tracker.total_nlri += message.size
+            elif tracker is not None:
+                tracker.dropped_messages += 1
+                tracker.dropped_nlri += message.size
+        finally:
+            if tracker is not None:
+                tracker.end()
+
+    def __repr__(self) -> str:
+        return (
+            f"<BoundarySession AS{self.local_asn}<->AS{self.remote_asn} "
+            f"(remote) outbox={len(self._outbox)}>"
+        )
+
+
+def _record_key(record: SendRecord) -> Tuple[float, int]:
+    return (record[0], record[1])

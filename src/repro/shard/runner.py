@@ -1,0 +1,411 @@
+"""The sharded-propagation coordinator: conservative windows over workers.
+
+:class:`ShardRunner` drives one worker process per shard through a sequence
+of synchronization windows.  Each window:
+
+1. computes the conservative barrier ``W = min(horizon, T_min + F)`` where
+   ``T_min`` is the earliest thing that can happen anywhere — any shard's
+   next event, or any still-pending cross-shard record's earliest possible
+   arrival (``send_time + link floor``) — and ``F`` is the cut's lookahead
+   (:attr:`ShardPlan.lookahead`);
+2. ships every pending record to its destination shard inside an
+   epoch-stamped :class:`~repro.shard.boundary.DeliveryBundle`;
+3. lets every shard integrate, run its engine to ``W``, and return the
+   records it produced, which become the next window's bundles.
+
+No shard ever receives a message scheduled before its clock (workers verify
+this and raise), so the distributed run processes exactly the event
+sequence of the single-process run — see DESIGN.md for the full argument.
+
+:class:`SingleRunner` is the in-process degenerate case (``--shards 1``):
+the same command surface over one :class:`~repro.shard.world.ShardWorld`
+with an empty cut, so callers and tests can compare the two bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.internet.network import NetworkConfig
+from repro.perf import COUNTERS as _C
+from repro.shard.boundary import DeliveryBundle, SendRecord
+from repro.shard.partition import LinkKey, ShardPlan
+from repro.shard.worker import ShardSpec, worker_main
+from repro.shard.world import ShardWorld
+from repro.sim.rng import SeededRNG
+from repro.topology.graph import ASGraph
+from repro.topology.serial import to_caida_lines
+
+
+def precompute_rov_adopters(
+    graph: ASGraph, config: Optional[NetworkConfig], seed: int
+) -> FrozenSet[int]:
+    """Replicate the single-process build's ROV adoption draw.
+
+    :meth:`Network._build` draws one uniform per node, in ``graph.nodes()``
+    order, from ``SeededRNG(seed).substream("network").substream("rov")``.
+    A shard building only its own nodes would consume that stream
+    differently, so the coordinator resolves the draws over the full node
+    order once and ships the resulting ASN set to every worker.
+    """
+    config = config or NetworkConfig()
+    if config.rov_adoption <= 0.0:
+        return frozenset()
+    rng = SeededRNG(seed).substream("network").substream("rov")
+    return frozenset(
+        node.asn
+        for node in graph.nodes()
+        if rng.random() < config.rov_adoption
+    )
+
+
+class SingleRunner:
+    """The ``--shards 1`` runner: one in-process world, same surface."""
+
+    num_shards = 1
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        config: Optional[NetworkConfig] = None,
+        seed: int = 0,
+        compact: bool = False,
+    ):
+        config = config or NetworkConfig()
+        rov = precompute_rov_adopters(graph, config, seed)
+        self.world = ShardWorld(
+            graph, config, seed, graph.asns(), rov_adopters=rov, compact=compact
+        )
+        self.now = 0.0
+
+    def watch(self, target) -> None:
+        self.world.watch(target)
+
+    def originate(self, asn: int, prefix) -> None:
+        self.world.originate(asn, prefix)
+
+    def originate_forged(self, asn: int, prefix, path_suffix: Sequence[int]) -> None:
+        self.world.originate_forged(asn, prefix, path_suffix)
+
+    def withdraw(self, asn: int, prefix) -> None:
+        self.world.withdraw(asn, prefix)
+
+    def run_to(self, time: float) -> None:
+        if time < self.now:
+            raise SimulationError(f"cannot run backwards to {time} from {self.now}")
+        self.world.network.engine.run(until=time)
+        self.now = time
+
+    def observe(self, target) -> Dict[int, Optional[int]]:
+        return self.world.observe(target)
+
+    def flips(self, target) -> List[Tuple[float, int, Optional[int]]]:
+        return sorted(self.world.flips(target))
+
+    def stats(self) -> Dict[str, int]:
+        return self.world.stats()
+
+    def snapshot(self) -> None:
+        self.world.snapshot()
+        self._snapshot_now = self.now
+
+    def restore(self) -> None:
+        self.world.restore()
+        self.now = self._snapshot_now
+
+    def collect_perf(self) -> List[Dict[str, float]]:
+        """Nothing to fold: the in-process world bumps the live counters."""
+        return []
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "SingleRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ShardRunner:
+    """Coordinator for ``N >= 2`` worker processes (fork start method)."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        plan: ShardPlan,
+        config: Optional[NetworkConfig] = None,
+        seed: int = 0,
+        compact: bool = False,
+    ):
+        if plan.num_shards < 2:
+            raise SimulationError("ShardRunner needs >= 2 shards; use SingleRunner")
+        config = config or NetworkConfig()
+        self.plan = plan
+        self.num_shards = plan.num_shards
+        self.now = 0.0
+        self.epoch = 0
+        self._floors = plan.link_floors
+        self._lookahead = plan.lookahead
+        #: Cut link -> its two shard ids.
+        self._link_shards: Dict[LinkKey, Tuple[int, int]] = {
+            key: (plan.assignment[key[0]], plan.assignment[key[1]])
+            for key in plan.cut_links
+        }
+        #: Per destination shard: records awaiting the next window's bundle.
+        self._pending: List[Dict[LinkKey, List[SendRecord]]] = [
+            {} for _ in range(plan.num_shards)
+        ]
+        self._next_times: List[Optional[float]] = [None] * plan.num_shards
+        self._in_flight: List[int] = [0] * plan.num_shards
+        self._snapshot_state: Optional[tuple] = None
+        rov = precompute_rov_adopters(graph, config, seed)
+        # Ship the topology as canonical annotated text (one serialization,
+        # every worker rebuilds the same graph the cache/CLI would load).
+        lines = to_caida_lines(graph, annotate=True)
+        context = multiprocessing.get_context("fork")
+        self._processes = []
+        self._conns = []
+        try:
+            for shard in range(plan.num_shards):
+                parent_conn, child_conn = context.Pipe()
+                spec = ShardSpec(
+                    shard,
+                    lines,
+                    frozenset(plan.shard_asns[shard]),
+                    rov,
+                    seed,
+                    config,
+                    compact,
+                )
+                process = context.Process(
+                    target=worker_main, args=(spec, child_conn), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                self._conns.append(parent_conn)
+            for shard in range(plan.num_shards):
+                self._record_status(shard, self._recv(shard))
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------- transport
+
+    def _recv(self, shard: int):
+        try:
+            status, payload = self._conns[shard].recv()
+        except EOFError:
+            raise SimulationError(f"shard {shard} worker died") from None
+        if status != "ok":
+            raise SimulationError(str(payload))
+        return payload
+
+    def _record_status(self, shard: int, status: Tuple[Optional[float], int]) -> None:
+        self._next_times[shard], self._in_flight[shard] = status
+
+    def _command_all(self, *request) -> None:
+        """Send a mutating command to every shard; statuses refresh."""
+        for conn in self._conns:
+            conn.send(request)
+        for shard in range(self.num_shards):
+            self._record_status(shard, self._recv(shard))
+
+    def _command_one(self, shard: int, *request) -> None:
+        self._conns[shard].send(request)
+        self._record_status(shard, self._recv(shard))
+
+    # -------------------------------------------------------------- commands
+
+    def watch(self, target) -> None:
+        self._command_all("watch", target)
+
+    def originate(self, asn: int, prefix) -> None:
+        self._command_one(self.plan.shard_of(asn), "originate", asn, prefix)
+
+    def originate_forged(self, asn: int, prefix, path_suffix: Sequence[int]) -> None:
+        self._command_one(
+            self.plan.shard_of(asn),
+            "originate_forged", asn, prefix, list(path_suffix),
+        )
+
+    def withdraw(self, asn: int, prefix) -> None:
+        self._command_one(self.plan.shard_of(asn), "withdraw", asn, prefix)
+
+    # --------------------------------------------------------------- windows
+
+    def _earliest_candidate(self) -> Optional[float]:
+        """``T_min``: the earliest event or possible cross-shard arrival."""
+        earliest: Optional[float] = None
+        for time in self._next_times:
+            if time is not None and (earliest is None or time < earliest):
+                earliest = time
+        floors = self._floors
+        for pending in self._pending:
+            for link, records in pending.items():
+                floor = floors[link]
+                for record in records:
+                    bound = record[0] + floor
+                    if earliest is None or bound < earliest:
+                        earliest = bound
+        return earliest
+
+    def _step_window(self, horizon: float) -> None:
+        earliest = self._earliest_candidate()
+        if earliest is not None and self._lookahead is not None:
+            window_end = min(horizon, earliest + self._lookahead)
+        else:
+            # Empty cut (independent shards) or globally idle: jump to the
+            # horizon in one window.
+            window_end = horizon
+        self.epoch += 1
+        epoch = self.epoch
+        for shard in range(self.num_shards):
+            pending = self._pending[shard]
+            bundles = [
+                DeliveryBundle(link, epoch, pending[link])
+                for link in sorted(pending)
+            ]
+            self._pending[shard] = {}
+            self._conns[shard].send(("window", epoch, window_end, bundles))
+        link_shards = self._link_shards
+        for shard in range(self.num_shards):
+            out, next_time, in_flight = self._recv(shard)
+            self._next_times[shard] = next_time
+            self._in_flight[shard] = in_flight
+            for link, records in out.items():
+                shard_a, shard_b = link_shards[link]
+                target = shard_b if shard_a == shard else shard_a
+                self._pending[target][link] = records
+        self.now = window_end
+
+    def run_to(self, time: float) -> None:
+        """Advance every shard to simulated ``time``.
+
+        Cross-shard records still pending on return are provably scheduled
+        strictly after ``time`` (the conservative window guarantees it), so
+        observations at ``time`` are complete; the records ship in the first
+        window of the next call.
+        """
+        if time < self.now:
+            raise SimulationError(f"cannot run backwards to {time} from {self.now}")
+        while self.now < time:
+            self._step_window(time)
+
+    # ------------------------------------------------------------ observation
+
+    def observe(self, target) -> Dict[int, Optional[int]]:
+        merged: Dict[int, Optional[int]] = {}
+        for conn in self._conns:
+            conn.send(("observe", target))
+        for shard in range(self.num_shards):
+            merged.update(self._recv(shard))
+        return merged
+
+    def flips(self, target) -> List[Tuple[float, int, Optional[int]]]:
+        merged: List[Tuple[float, int, Optional[int]]] = []
+        for conn in self._conns:
+            conn.send(("flips", target))
+        for shard in range(self.num_shards):
+            merged.extend(self._recv(shard))
+        return sorted(merged)
+
+    def stats(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for conn in self._conns:
+            conn.send(("stats",))
+        for shard in range(self.num_shards):
+            for key, value in self._recv(shard).items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+    # --------------------------------------------------------------- warm start
+
+    def _assert_quiescent(self, action: str) -> None:
+        if any(time is not None for time in self._next_times) or any(
+            self._in_flight
+        ):
+            raise SimulationError(f"cannot {action}: shards are not quiescent")
+        if any(self._pending):
+            raise SimulationError(f"cannot {action}: cross-shard records pending")
+
+    def snapshot(self) -> None:
+        """Snapshot every shard's (quiescent) state for repeated restores."""
+        self._assert_quiescent("snapshot")
+        self._command_all("snapshot")
+        self._snapshot_state = (self.now, self.epoch)
+
+    def restore(self) -> None:
+        """Fork every shard back to the snapshot; resets the global clock."""
+        if self._snapshot_state is None:
+            raise SimulationError("no snapshot captured on this runner")
+        self._command_all("restore")
+        self.now, self.epoch = self._snapshot_state
+        self._pending = [{} for _ in range(self.num_shards)]
+
+    # ------------------------------------------------------------------ perf
+
+    def collect_perf(self) -> List[Dict[str, float]]:
+        """Fold every worker's counter delta into this process's counters.
+
+        Returns the raw per-worker payloads (counter deltas plus each
+        worker's busy ``cpu_seconds``) so benches can reason about load
+        balance and the critical path; ``merge`` ignores the non-counter
+        extras.
+        """
+        deltas = []
+        for conn in self._conns:
+            conn.send(("perf",))
+        for shard in range(self.num_shards):
+            delta = self._recv(shard)
+            _C.merge(delta)
+            deltas.append(delta)
+        return deltas
+
+    # --------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        for conn in getattr(self, "_conns", []):
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for process in getattr(self, "_processes", []):
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        self._conns = []
+        self._processes = []
+
+    def __enter__(self) -> "ShardRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_runner(
+    graph: ASGraph,
+    num_shards: int,
+    config: Optional[NetworkConfig] = None,
+    seed: int = 0,
+    compact: bool = False,
+) -> Union[SingleRunner, ShardRunner]:
+    """Build the right runner for ``num_shards`` (partitioning included)."""
+    if num_shards < 1:
+        raise SimulationError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards == 1:
+        return SingleRunner(graph, config, seed, compact=compact)
+    from repro.shard.partition import partition_graph
+
+    plan = partition_graph(graph, num_shards, config)
+    return ShardRunner(graph, plan, config, seed, compact=compact)

@@ -37,7 +37,8 @@ from repro.sdn.controller import BGPController
 from repro.sim.latency import DelaySpec, Uniform, make_delay
 from repro.sim.rng import SeededRNG
 from repro.testbed.peering import PeeringTestbed, VirtualAS
-from repro.topology.generator import GeneratorConfig, generate_internet
+from repro.topology.cache import load_or_build_graph
+from repro.topology.generator import GeneratorConfig
 from repro.topology.graph import ASGraph
 
 
@@ -100,6 +101,7 @@ class ScenarioConfig:
         warm_start: bool = False,
         checkpoint=None,
         record_trace: Optional[str] = None,
+        cache_dir: Optional[str] = None,
     ):
         self.prefix = Prefix.parse(prefix)
         #: What the hijacker announces; defaults to the owned prefix itself
@@ -219,6 +221,11 @@ class ScenarioConfig:
         #: trace must include the phase-1 baseline events, which a forked
         #: checkpoint has already consumed.
         self.record_trace = record_trace
+        #: Directory for the on-disk topology cache
+        #: (:mod:`repro.topology.cache`).  Suite workers regenerate the same
+        #: graph per world seed; with a cache directory the first builder
+        #: persists it and everyone else loads.  ``None`` disables caching.
+        self.cache_dir = cache_dir
 
 
 class ExperimentResult:
@@ -359,8 +366,11 @@ class HijackExperiment:
         wseed = cfg.seed if cfg.world_seed is None else cfg.world_seed
         # A caller-supplied graph is copied: setup grafts the virtual ASes
         # onto it, and suites rerun many seeds against one shared topology.
-        graph = cfg.graph.copy() if cfg.graph is not None else generate_internet(
-            cfg.topology, seed=wseed
+        # Otherwise the graph is built per (topology, wseed) — through the
+        # on-disk cache when one is configured, so suite workers and repeated
+        # runs skip regeneration.
+        graph = cfg.graph.copy() if cfg.graph is not None else load_or_build_graph(
+            cfg.topology, seed=wseed, cache_dir=cfg.cache_dir
         )
         network_config = cfg.network
         if cfg.rov_adoption > 0.0:

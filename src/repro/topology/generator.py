@@ -115,31 +115,62 @@ def generate_internet(
         tier2.append(asn)
 
     # Lateral tier-2 peering, biased towards same-region pairs (IXPs).
+    # Only loop-invariant hoists below: the draw sequence — exactly one
+    # uniform per ordered pair — is pinned by the golden determinism
+    # digests and must not change.
+    base_probability = cfg.tier2_peering_prob / max(1, len(tier2) // 12)
+    boost = cfg.same_region_peering_boost
+    tier2_regions = [graph.node(t).region for t in tier2]
     for i, a in enumerate(tier2):
-        for b in tier2[i + 1:]:
-            probability = cfg.tier2_peering_prob / max(1, len(tier2) // 12)
-            node_a, node_b = graph.node(a), graph.node(b)
-            if node_a.region == node_b.region:
-                probability = min(1.0, probability * cfg.same_region_peering_boost)
+        region_a = tier2_regions[i]
+        for j in range(i + 1, len(tier2)):
+            if region_a == tier2_regions[j]:
+                probability = min(1.0, base_probability * boost)
+            else:
+                probability = base_probability
+            b = tier2[j]
             if rng.random() < probability and not graph.linked(a, b):
                 graph.add_peering(a, b)
 
+    # Stub attachment prefers same-region tier-2 providers.  The provider
+    # pools depend only on the stub's region, so they are precomputed once
+    # per region — rebuilding them per stub (and re-deriving the distinct
+    # provider count per candidate draw) made attachment O(stubs x tier2),
+    # the dominant generator cost at 10k ASes.  Pool contents and order
+    # (tier-2 insertion order) are exactly what the per-stub comprehensions
+    # produced, so the draw sequence is unchanged.
+    local_by_region: dict = {}
+    remote_by_region: dict = {}
+    distinct_by_region: dict = {}
+    for region in cfg.regions:
+        if region in local_by_region:
+            continue
+        local = [t for i, t in enumerate(tier2) if tier2_regions[i] == region]
+        remote = [
+            t for i, t in enumerate(tier2) if tier2_regions[i] != region
+        ] or list(tier1)
+        local_by_region[region] = local
+        remote_by_region[region] = remote
+        # ``local`` and ``remote`` never overlap (region partition; the
+        # tier-1 fallback is disjoint from tier-2), so the distinct count
+        # the stop condition needs is just the summed lengths.
+        distinct_by_region[region] = len(local) + len(remote)
     for _ in range(cfg.num_stubs):
         region = pick_region()
         asn = next_asn
         graph.add_as(asn, tier=3, region=region, tags={"stub"})
         next_asn += 1
         want = rng.randint(cfg.min_providers_stub, cfg.max_providers_stub)
-        # Prefer same-region tier-2 providers where available.
-        local = [t for t in tier2 if graph.node(t).region == region]
-        remote = [t for t in tier2 if graph.node(t).region != region] or list(tier1)
+        local = local_by_region[region]
+        remote = remote_by_region[region]
+        distinct = distinct_by_region[region]
         providers: List[int] = []
         while len(providers) < want:
             pool = local if local and rng.random() < 0.7 else remote
             choice = rng.choice(pool)
             if choice not in providers:
                 providers.append(choice)
-            if len(providers) >= len(set(local + remote)):
+            if len(providers) >= distinct:
                 break
         for provider in providers:
             graph.add_customer_provider(asn, provider)
