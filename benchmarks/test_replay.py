@@ -30,6 +30,12 @@ Environment knobs (for CI smoke runs on small machines):
 
 ``REPLAY_MIN_RATE``
     Flat-out updates/sec floor (default 2000; 0 disables the guard).
+``REPLAY_REGRESSION_FRACTION``
+    Allowed flat-out slowdown versus the committed ``BENCH_replay.json``
+    baseline (default 0.3 — fail on a >30% regression; 0 disables).
+    Unlike the absolute floor above, this guard tracks the repo's own
+    recorded performance, so a creeping ingest-path regression fails CI
+    even while still comfortably above the hard floor.
 ``REPLAY_BENCH_WRITE``
     Write ``BENCH_replay.json`` when set to 1.
 """
@@ -104,6 +110,24 @@ def test_replay_flat_out_throughput(benchmark, recorded_scale):
             f"replay ingest {report['updates_per_second']:.0f} updates/s "
             f"under the {floor:.0f}/s floor"
         )
+
+    # Relative regression guard: the committed baseline is the repo's own
+    # measured rate on the reference box; a fresh measurement more than
+    # REPLAY_REGRESSION_FRACTION below it fails the run.
+    fraction = float(os.environ.get("REPLAY_REGRESSION_FRACTION", "0.3"))
+    if fraction > 0 and os.path.exists(_BENCH_JSON):
+        with open(_BENCH_JSON, encoding="utf-8") as handle:
+            committed = json.load(handle)
+        baseline_rate = committed.get("flat_out", {}).get("updates_per_second", 0)
+        if baseline_rate > 0:
+            allowed = baseline_rate * (1.0 - fraction)
+            assert report["updates_per_second"] >= allowed, (
+                f"replay ingest regressed: {report['updates_per_second']:.0f} "
+                f"updates/s vs committed baseline {baseline_rate:.0f}/s "
+                f"(>{fraction:.0%} regression; floor {allowed:.0f}/s). "
+                "If the slowdown is intended, regenerate BENCH_replay.json "
+                "with REPLAY_BENCH_WRITE=1."
+            )
 
     numbers = {
         "records": report["records_read"],

@@ -180,6 +180,9 @@ def cmd_replay(args: argparse.Namespace) -> int:
     from repro.errors import FeedError
     from repro.feeds.replay import ReplaySession
 
+    if args.synth_tenants or args.tenants:
+        return _cmd_replay_tenants(args)
+
     try:
         session = ReplaySession(
             args.trace,
@@ -233,6 +236,112 @@ def cmd_replay(args: argparse.Namespace) -> int:
             )
         )
     if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nreport written to {args.json}")
+    return 0
+
+
+def _cmd_replay_tenants(args: argparse.Namespace) -> int:
+    """Replay a trace through the multi-tenant batched detection plane."""
+    import time as _time
+
+    from repro.core.config import ArtemisConfig
+    from repro.errors import FeedError, ReproError
+    from repro.feeds.replay import load_trace
+    from repro.perf import COUNTERS
+    from repro.tenants import DetectionPlane, ParallelDetectionPlane, TenantRegistry
+    from repro.tenants.synth import build_synth_registry, observed_origin_map
+
+    if args.faults or args.supervise or args.speed is not None:
+        print(
+            "tenant mode is a flat-out pure-ingest path: "
+            "--faults/--supervise/--speed do not apply",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        trace = load_trace(args.trace)
+        if args.tenants:
+            with open(args.tenants, "r", encoding="utf-8") as handle:
+                spec = json.load(handle)
+            registry = TenantRegistry()
+            for name, entry in sorted(spec["tenants"].items()):
+                registry.add_tenant(
+                    name,
+                    ArtemisConfig.from_dict(entry["config"]),
+                    autoignore_visibility=entry.get("autoignore_visibility", 0),
+                )
+        else:
+            registry = build_synth_registry(
+                observed_origin_map(trace.events),
+                num_tenants=args.synth_tenants,
+                num_prefixes=args.synth_prefixes
+                or 100 * args.synth_tenants,
+            )
+    except (FeedError, ReproError, OSError, KeyError, ValueError) as error:
+        print(f"tenant replay failed: {error}", file=sys.stderr)
+        return 2
+
+    COUNTERS.reset()
+    workers = max(1, args.detect_workers)
+    started = _time.perf_counter()
+    if workers > 1:
+        parallel = ParallelDetectionPlane(
+            registry, num_workers=workers, batch_size=args.batch_size
+        )
+        parallel.start()
+        parallel.feed_trace(args.trace)
+        result = parallel.finish()
+        events_seen = parallel.events_routed + parallel.events_unrouted
+        digest = result["digest"]
+        alerts = result["alerts"]
+        cpu_note = ", ".join(f"{c:.2f}" for c in result["cpu_seconds"])
+    else:
+        plane = DetectionPlane(registry, batch_size=args.batch_size)
+        limit = args.max_events
+        for event in trace.events if limit is None else trace.events[:limit]:
+            plane.ingest(event)
+        plane.flush()
+        events_seen = plane.events_ingested
+        digest = plane.digest()
+        alerts = plane.total_alerts()
+        cpu_note = "-"
+    wall = _time.perf_counter() - started
+
+    rows = [
+        ["trace", args.trace],
+        ["tenants", str(len(registry))],
+        ["rules", str(registry.num_rules)],
+        ["monitored prefixes", str(len(registry.monitored_prefixes()))],
+        ["detect workers", str(workers)],
+        ["batch size", str(args.batch_size)],
+        ["events seen", str(events_seen)],
+        ["pipeline batches", str(COUNTERS.pipeline_batches)],
+        ["trie walks", str(COUNTERS.pipeline_trie_walks)],
+        ["memo hits", str(COUNTERS.pipeline_memo_hits)],
+        ["backpressure stalls", str(COUNTERS.pipeline_backpressure_stalls)],
+        ["alerts (all tenants)", str(alerts)],
+        ["merged alert digest", digest[:16]],
+        ["wall seconds", f"{wall:.3f}"],
+        ["events / sec", f"{events_seen / wall:,.0f}" if wall > 0 else "-"],
+        ["worker cpu seconds", cpu_note],
+    ]
+    print(format_table(["metric", "value"], rows, title="multi-tenant replay"))
+    if args.json:
+        report = {
+            "trace": args.trace,
+            "tenants": len(registry),
+            "rules": registry.num_rules,
+            "detect_workers": workers,
+            "batch_size": args.batch_size,
+            "events_seen": events_seen,
+            "alerts": alerts,
+            "merged_alert_digest": digest,
+            "wall_seconds": wall,
+            "counters": COUNTERS.as_dict(),
+        }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -519,6 +628,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="K",
         help="stop after K records (resumable ingest smoke checks)",
+    )
+    replay.add_argument(
+        "--tenants",
+        default=None,
+        metavar="FILE.json",
+        help="multi-tenant mode: per-tenant configs "
+        '({"tenants": {name: {"config": ..., "autoignore_visibility": 0}}})',
+    )
+    replay.add_argument(
+        "--synth-tenants",
+        type=int,
+        default=0,
+        metavar="N",
+        help="multi-tenant mode: build N synthetic tenants grounded in the "
+        "trace's observed origins",
+    )
+    replay.add_argument(
+        "--synth-prefixes",
+        type=int,
+        default=0,
+        metavar="M",
+        help="total monitored prefixes for --synth-tenants "
+        "(default: 100 per tenant)",
+    )
+    replay.add_argument(
+        "--detect-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition the prefix space across N detection worker "
+        "processes (tenant mode only)",
+    )
+    replay.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        metavar="B",
+        help="classifier batch size for the tenant pipeline",
     )
     replay.add_argument("--json", default=None, help="write the report JSON here")
     replay.set_defaults(func=cmd_replay)

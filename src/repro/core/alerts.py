@@ -160,6 +160,10 @@ class AlertManager:
         self.alerts.append(alert)
         return alert, True
 
+    def incident_for(self, key: Tuple) -> Optional[HijackAlert]:
+        """The current (most recent) alert for a dedup key, or ``None``."""
+        return self._by_key.get(key)
+
     @property
     def active(self) -> List[HijackAlert]:
         return [

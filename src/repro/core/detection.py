@@ -27,6 +27,17 @@ from repro.perf import COUNTERS as _COUNTERS
 
 AlertCallback = Callable[[HijackAlert], None]
 
+#: Feed events between opportunistic detection-state prune checks.
+PRUNE_CHECK_INTERVAL = 512
+
+#: Event-time seconds a resolved incident's bookkeeping outlives its
+#: cooldown before :meth:`DetectionService.prune_state` drops it.  The
+#: window is deliberately generous: late evidence re-reads
+#: (``per_source_delay_final`` at end of run) and the duplicate-delivery
+#: founding gate both need the state for a while after resolution, but a
+#: multi-hour soak must not accumulate one entry per incident forever.
+STATE_RETENTION = 3600.0
+
 
 class DetectionService:
     """Classifies feed events against the owned-prefix ground truth."""
@@ -59,6 +70,11 @@ class DetectionService:
         self._evidence_seen: Dict[Tuple, set] = {}
         #: Byte-identical duplicate deliveries detected (attached-or-dropped).
         self.duplicate_events_skipped = 0
+        #: Event-time retention of per-incident state after resolve+cooldown
+        #: (:data:`STATE_RETENTION`); ``None`` disables pruning entirely.
+        self.state_retention: Optional[float] = STATE_RETENTION
+        self._events_since_prune = 0
+        self.entries_pruned = 0
         self.started = False
         self._subscriptions = []
 
@@ -98,6 +114,11 @@ class DetectionService:
     def handle_event(self, event: FeedEvent) -> None:
         """Inspect one feed event; raise/extend alerts as needed."""
         self.events_checked += 1
+        if self.state_retention is not None:
+            self._events_since_prune += 1
+            if self._events_since_prune >= PRUNE_CHECK_INTERVAL:
+                self._events_since_prune = 0
+                self.prune_state(event.delivered_at)
         if not event.is_announcement:
             return
         verdict = self.classify(event)
@@ -161,6 +182,61 @@ class DetectionService:
         if entry.upstream_is_legit(upstream):
             return None
         return AlertType.PATH, entry.prefix, upstream
+
+    # --------------------------------------------------------- state bounding
+
+    def detection_state_entries(self) -> int:
+        """Current per-incident bookkeeping entries (the soak-memory gauge)."""
+        return (
+            len(self.first_evidence)
+            + len(self.live_at_alert)
+            + len(self._evidence_seen)
+        )
+
+    def prune_state(self, now: float) -> int:
+        """Drop bookkeeping for incidents resolved long before ``now``.
+
+        ``first_evidence``, ``live_at_alert`` and ``_evidence_seen`` each
+        hold one entry per incident forever; over a multi-hour soak with
+        resolutions that is unbounded growth for state nobody will read
+        again.  An entry expires once its incident has been resolved for
+        more than ``cooldown + state_retention`` event-time seconds — the
+        cooldown is when the incident may still be revived by evidence,
+        and the retention window keeps late-evidence re-reads and the
+        duplicate-founding gate intact on any realistic transport
+        timescale.  Returns the number of entries dropped; refreshes the
+        ``detection_state_entries`` peak gauge either way.
+        """
+        entries = self.detection_state_entries()
+        if entries > _COUNTERS.detection_state_entries:
+            _COUNTERS.detection_state_entries = entries
+        if self.state_retention is None:
+            return 0
+        horizon = self.alert_manager.cooldown + self.state_retention
+
+        def expired(alert: Optional[HijackAlert]) -> bool:
+            return (
+                alert is not None
+                and alert.resolved_at is not None
+                and now - alert.resolved_at > horizon
+            )
+
+        dropped = 0
+        by_id = {alert.id: alert for alert in self.alert_manager.alerts}
+        for table in (self.first_evidence, self.live_at_alert):
+            for alert_id in [i for i in table if expired(by_id.get(i))]:
+                del table[alert_id]
+                dropped += 1
+        stale_patterns = [
+            pattern
+            for pattern in self._evidence_seen
+            if expired(self.alert_manager.incident_for(pattern))
+        ]
+        for pattern in stale_patterns:
+            del self._evidence_seen[pattern]
+            dropped += 1
+        self.entries_pruned += dropped
+        return dropped
 
     # ------------------------------------------------------------------- stats
 

@@ -232,6 +232,34 @@ class PrefixTrie(Generic[V]):
                     node.value,  # type: ignore[misc]
                 )
 
+    def covering_values(self, target: Union[Prefix, Address]) -> List[V]:
+        """Values on the covering chain of ``target``, least → most specific.
+
+        Same walk as :meth:`covering` (the stored root-to-``target`` chain,
+        including an exact match), but returns only the values, as a list,
+        without reconstructing a :class:`Prefix` per matched level — the
+        allocation-light variant for hot batch-lookup paths whose values
+        already know their own prefix (e.g. the multi-tenant prefix tree).
+        """
+        if isinstance(target, Address):
+            probe = Prefix(target.value, target.bits, target.version)
+        else:
+            probe = target
+        node = self._roots[probe.version]
+        found: List[V] = []
+        if node.has_value:
+            found.append(node.value)  # type: ignore[arg-type]
+        value = probe.value
+        shift = (32 if probe.version == 4 else 128) - 1
+        for _ in range(probe.length):
+            node = node.children[(value >> shift) & 1]
+            if node is None:
+                break
+            shift -= 1
+            if node.has_value:
+                found.append(node.value)  # type: ignore[arg-type]
+        return found
+
     def items(self) -> Iterator[Tuple[Prefix, V]]:
         """Yield all (prefix, value) pairs in deterministic bit order."""
         for version in (4, 6):

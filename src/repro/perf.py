@@ -23,6 +23,12 @@ What the counters capture:
 * **sharded propagation** — cross-shard messages/bytes exchanged between
   worker processes, sync-barrier stalls (windows a shard ran with nothing
   to do), windows executed, and the per-shard peak RSS gauge;
+* **multi-tenant detection plane** — events ingested and batches drained by
+  the :mod:`repro.tenants` pipeline, shared-tree walks vs per-batch memo
+  hits (the amortization ratio), backpressure stalls (a full ingest queue
+  forcing an inline drain), notifier emissions/drops, autoignore
+  suppressions, and the ``--detect-workers`` routing/batch counters, plus
+  queue-depth peak gauges and the bounded detection-state entry gauge;
 * **memory gauges** — peak RSS, intern-table populations and serialized
   checkpoint size, sampled with :func:`sample_memory` rather than bumped.
 
@@ -77,6 +83,18 @@ FIELDS: Tuple[str, ...] = (
     "cross_shard_bytes",
     "sync_barrier_stalls",
     "shard_windows",
+    # multi-tenant detection plane (repro.tenants: batched ingest pipeline,
+    # shared prefix tree, notifier stage, and the --detect-workers fan-out)
+    "pipeline_events_ingested",
+    "pipeline_batches",
+    "pipeline_trie_walks",
+    "pipeline_memo_hits",
+    "pipeline_backpressure_stalls",
+    "notifier_alerts_emitted",
+    "notifier_alerts_dropped",
+    "autoignore_suppressed",
+    "detect_events_routed",
+    "detect_worker_batches",
 )
 
 #: Gauge fields: sampled point-in-time values, merged with ``max`` instead
@@ -88,6 +106,9 @@ GAUGES: Tuple[str, ...] = (
     "checkpoint_bytes",
     "replay_backlog_peak",
     "shard_rss_peak_kb",
+    "pipeline_queue_depth_peak",
+    "notifier_queue_depth_peak",
+    "detection_state_entries",
 )
 
 

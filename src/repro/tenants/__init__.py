@@ -1,0 +1,39 @@
+"""Multi-tenant detection plane: detection-as-a-service at scale.
+
+One ARTEMIS deployment protecting N operators ("tenants") from a single
+shared feed.  The package splits into:
+
+* :mod:`repro.tenants.registry` — compiled, interned per-tenant rule
+  bundles (:class:`TenantRegistry`, :class:`TenantRule`);
+* :mod:`repro.tenants.prefixtree` — the shared radix tree answering
+  "whose rules match this announcement?" in one O(bits) walk
+  (:class:`PrefixTree`);
+* :mod:`repro.tenants.pipeline` — the batched ingest → classify → alert →
+  notify pipeline (:class:`DetectionPlane`) and the canonical merged
+  alert digest;
+* :mod:`repro.tenants.workers` — the ``--detect-workers N`` prefix-space
+  partitioning across forked worker processes
+  (:class:`ParallelDetectionPlane`);
+* :mod:`repro.tenants.synth` — deterministic synthetic tenant populations
+  for the at-scale benches.
+"""
+
+from repro.tenants.pipeline import (
+    DetectionPlane,
+    incident_rows,
+    merged_alert_digest,
+)
+from repro.tenants.prefixtree import PrefixTree
+from repro.tenants.registry import TenantRegistry, TenantRule
+from repro.tenants.workers import ParallelDetectionPlane, TenantWorkerError
+
+__all__ = [
+    "DetectionPlane",
+    "ParallelDetectionPlane",
+    "PrefixTree",
+    "TenantRegistry",
+    "TenantRule",
+    "TenantWorkerError",
+    "incident_rows",
+    "merged_alert_digest",
+]

@@ -1,0 +1,400 @@
+"""The batched multi-tenant detection pipeline.
+
+The single-tenant engine path dispatches one callback per (event, tenant)
+pair; with a thousand tenants that per-event fan-out dominates the run.
+:class:`DetectionPlane` restructures detection as a throughput pipeline:
+
+1. **ingest** — events land in a bounded queue (a deque); nothing is
+   classified per event.
+2. **classify** — when a batch's worth has accumulated (or on an explicit
+   :meth:`flush`), the whole batch drains at once: **one shared-tree walk
+   per unique announced prefix per batch**, and one verdict computation per
+   unique ``(prefix, origin, upstream)`` triple — everything else is a memo
+   hit.  BGP feeds are extremely repetitive (a churn flap delivers the same
+   announcement from dozens of vantage points), so the memo converts the
+   per-event classification cost into a per-batch one.
+3. **alert** — verdicts feed per-tenant :class:`~repro.core.alerts.AlertManager`
+   instances (incidents are keyed *per tenant*: the same offending
+   announcement raises one incident for every tenant whose space it hits).
+4. **notify** — new incidents that pass the tenant's autoignore visibility
+   threshold enter a bounded notifier queue (oldest dropped on overflow,
+   counted — alert *state* is never lost, only notification delivery).
+
+Queue depths, backpressure stalls, memo hit rates and notifier drops are
+all visible in :data:`repro.perf.COUNTERS`.
+
+Determinism: batching never reorders events, per-tenant iteration is
+sorted, and alert IDs restart per manager — so :func:`merged_alert_digest`
+over the plane's incidents is bit-identical across batch sizes, and across
+the ``--detect-workers`` partitioning (workers own disjoint prefix
+subtrees, and the digest is computed over canonically sorted rows).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.alerts import AlertManager, AlertType, HijackAlert
+from repro.feeds.events import FeedEvent
+from repro.perf import COUNTERS as _COUNTERS
+from repro.tenants.prefixtree import PrefixTree
+from repro.tenants.registry import TenantRegistry, TenantRule
+
+#: Events between opportunistic per-tenant state prune sweeps.
+PRUNE_CHECK_INTERVAL = 4096
+
+#: Event-time retention of resolved-incident bookkeeping past cooldown
+#: (same contract as :data:`repro.core.detection.STATE_RETENTION`).
+STATE_RETENTION = 3600.0
+
+#: One classification verdict: (rule, alert type, offender ASN).
+Verdict = Tuple[TenantRule, AlertType, Optional[int]]
+
+
+class _TenantState:
+    """Everything the plane tracks for one tenant."""
+
+    __slots__ = ("alerts", "evidence_seen", "first_evidence", "held")
+
+    def __init__(self, cooldown: float):
+        self.alerts = AlertManager(cooldown=cooldown)
+        #: Per incident pattern: content keys already ingested (the
+        #: duplicate-delivery founding gate, as in DetectionService).
+        self.evidence_seen: Dict[Tuple, set] = {}
+        #: Per alert id, per source: first evidence delivery time.
+        self.first_evidence: Dict[int, Dict[str, float]] = {}
+        #: Alert ids withheld from the notifier until enough distinct
+        #: vantages have witnessed them (the autoignore gate).
+        self.held: Dict[int, int] = {}
+
+
+def classify_batch_verdicts(
+    matches: List[Tuple[TenantRule, bool]],
+    origin: Optional[int],
+    upstream: Optional[int],
+) -> Tuple[Verdict, ...]:
+    """Pure verdict computation for one (prefix, origin, upstream) triple.
+
+    Mirrors ``DetectionService.classify`` per matched tenant rule: exact
+    match → EXACT_ORIGIN on a bad origin, else the type-1 path check;
+    covering match → SUB_PREFIX on a bad origin (if the tenant opted in),
+    else the same path check against the covering rule.
+    """
+    verdicts: List[Verdict] = []
+    for rule, exact in matches:
+        if origin is None:
+            continue
+        if origin not in rule.legit_origins:
+            if exact:
+                verdicts.append((rule, AlertType.EXACT_ORIGIN, origin))
+            elif rule.detect_subprefix:
+                verdicts.append((rule, AlertType.SUB_PREFIX, origin))
+            continue
+        if (
+            rule.detect_path
+            and rule.legit_upstreams is not None
+            and upstream is not None
+            and upstream not in rule.legit_upstreams
+        ):
+            verdicts.append((rule, AlertType.PATH, upstream))
+    return tuple(verdicts)
+
+
+class DetectionPlane:
+    """Batched multi-tenant detection over one shared prefix tree."""
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        tree: Optional[PrefixTree] = None,
+        batch_size: int = 256,
+        queue_capacity: int = 8192,
+        notifier_capacity: int = 1024,
+        notify: Optional[Callable[[str, HijackAlert], None]] = None,
+    ):
+        self.registry = registry
+        self.tree = tree if tree is not None else PrefixTree(registry)
+        self.batch_size = max(1, int(batch_size))
+        self.queue_capacity = max(1, int(queue_capacity))
+        self.notifier_capacity = max(1, int(notifier_capacity))
+        self._queue: Deque[FeedEvent] = deque()
+        self._notifications: Deque[Tuple[str, HijackAlert]] = deque()
+        self._notify = notify
+        self._states: Dict[str, _TenantState] = {}
+        self.events_ingested = 0
+        self.batches_drained = 0
+        #: Event-time retention for resolved-incident state (``None``
+        #: disables pruning, as in :class:`DetectionService`).
+        self.state_retention: Optional[float] = STATE_RETENTION
+        self._events_since_prune = 0
+        self.entries_pruned = 0
+        self._last_event_time = 0.0
+
+    # ---------------------------------------------------------------- ingest
+
+    def ingest(self, event: FeedEvent) -> None:
+        """Stage one event; drains automatically at a batch boundary."""
+        queue = self._queue
+        queue.append(event)
+        self.events_ingested += 1
+        _COUNTERS.pipeline_events_ingested += 1
+        depth = len(queue)
+        if depth > _COUNTERS.pipeline_queue_depth_peak:
+            _COUNTERS.pipeline_queue_depth_peak = depth
+        if depth >= self.queue_capacity:
+            # The queue hit its bound before the batch filled: the producer
+            # outran the configured batch cadence, so stall it with an
+            # inline drain rather than grow without limit.
+            _COUNTERS.pipeline_backpressure_stalls += 1
+            self._drain()
+        elif depth >= self.batch_size:
+            self._drain()
+
+    __call__ = ingest
+
+    def flush(self) -> None:
+        """Drain any partial batch (end of stream)."""
+        if self._queue:
+            self._drain()
+
+    # -------------------------------------------------------------- classify
+
+    def _drain(self) -> None:
+        queue = self._queue
+        self.batches_drained += 1
+        _COUNTERS.pipeline_batches += 1
+        resolve = self.tree.resolve
+        walks: Dict = {}
+        verdict_memo: Dict[Tuple, Tuple[Verdict, ...]] = {}
+        while queue:
+            event = queue.popleft()
+            if not event.is_announcement:
+                continue
+            self._last_event_time = event.delivered_at
+            path = event.as_path
+            upstream = path[-2] if len(path) >= 2 else None
+            memo_key = (event.prefix, path[-1], upstream)
+            verdicts = verdict_memo.get(memo_key)
+            if verdicts is None:
+                matches = walks.get(event.prefix)
+                if matches is None:
+                    matches = resolve(event.prefix)
+                    walks[event.prefix] = matches
+                verdicts = classify_batch_verdicts(matches, path[-1], upstream)
+                verdict_memo[memo_key] = verdicts
+            else:
+                _COUNTERS.pipeline_memo_hits += 1
+            for verdict in verdicts:
+                self._apply(verdict, event)
+        self._maybe_prune()
+        self._drain_notifier()
+
+    def _apply(self, verdict: Verdict, event: FeedEvent) -> None:
+        """Feed one verdict into its tenant's alert state (stage 3)."""
+        rule, alert_type, offender = verdict
+        state = self._states.get(rule.tenant)
+        if state is None:
+            state = _TenantState(cooldown=rule.cooldown)
+            self._states[rule.tenant] = state
+        pattern = (alert_type, rule.prefix, event.prefix, offender)
+        seen = state.evidence_seen.setdefault(pattern, set())
+        content = event.content_key()
+        duplicate = content in seen
+        if duplicate:
+            _COUNTERS.duplicate_evidence_skipped += 1
+        else:
+            seen.add(content)
+        alert, is_new = state.alerts.ingest(
+            alert_type, rule.prefix, event.prefix, offender, event,
+            allow_new=not duplicate,
+        )
+        if alert is None:
+            return
+        per_source = state.first_evidence.setdefault(alert.id, {})
+        if event.source not in per_source:
+            per_source[event.source] = event.delivered_at
+        if is_new:
+            if rule.autoignore_visibility > 1:
+                # Withhold the notification until enough distinct vantage
+                # ASes corroborate; the incident itself is already on the
+                # books (digests and state are unaffected).
+                state.held[alert.id] = rule.autoignore_visibility
+                _COUNTERS.autoignore_suppressed += 1
+            else:
+                self._enqueue_notification(rule.tenant, alert)
+        elif state.held:
+            threshold = state.held.get(alert.id)
+            if (
+                threshold is not None
+                and len(alert.witness_vantages) >= threshold
+            ):
+                del state.held[alert.id]
+                self._enqueue_notification(rule.tenant, alert)
+
+    # ---------------------------------------------------------------- notify
+
+    def _enqueue_notification(self, tenant: str, alert: HijackAlert) -> None:
+        queue = self._notifications
+        if len(queue) >= self.notifier_capacity:
+            queue.popleft()
+            _COUNTERS.notifier_alerts_dropped += 1
+        queue.append((tenant, alert))
+        depth = len(queue)
+        if depth > _COUNTERS.notifier_queue_depth_peak:
+            _COUNTERS.notifier_queue_depth_peak = depth
+
+    def _drain_notifier(self) -> None:
+        """Deliver queued notifications to the callback, if one is set."""
+        if self._notify is None:
+            return
+        while self._notifications:
+            tenant, alert = self._notifications.popleft()
+            self._notify(tenant, alert)
+            _COUNTERS.notifier_alerts_emitted += 1
+
+    def drain_notifications(self) -> List[Tuple[str, HijackAlert]]:
+        """Pop all pending (tenant, alert) notifications (pull-mode use)."""
+        out = list(self._notifications)
+        self._notifications.clear()
+        _COUNTERS.notifier_alerts_emitted += len(out)
+        return out
+
+    # -------------------------------------------------------- state bounding
+
+    def detection_state_entries(self) -> int:
+        """Per-incident bookkeeping entries across all tenants."""
+        return sum(
+            len(s.first_evidence) + len(s.evidence_seen) + len(s.held)
+            for s in self._states.values()
+        )
+
+    def _maybe_prune(self) -> None:
+        if self.state_retention is None:
+            return
+        self._events_since_prune += self.batch_size
+        if self._events_since_prune >= PRUNE_CHECK_INTERVAL:
+            self._events_since_prune = 0
+            self.prune_state(self._last_event_time)
+
+    def prune_state(self, now: float) -> int:
+        """Drop bookkeeping for incidents resolved long before ``now``.
+
+        Same contract as :meth:`DetectionService.prune_state`, applied per
+        tenant; refreshes the shared ``detection_state_entries`` peak gauge.
+        """
+        entries = self.detection_state_entries()
+        if entries > _COUNTERS.detection_state_entries:
+            _COUNTERS.detection_state_entries = entries
+        if self.state_retention is None:
+            return 0
+        dropped = 0
+        for state in self._states.values():
+            horizon = state.alerts.cooldown + self.state_retention
+
+            def expired(alert: Optional[HijackAlert]) -> bool:
+                return (
+                    alert is not None
+                    and alert.resolved_at is not None
+                    and now - alert.resolved_at > horizon
+                )
+
+            by_id = {a.id: a for a in state.alerts.alerts}
+            for table in (state.first_evidence, state.held):
+                for alert_id in [i for i in table if expired(by_id.get(i))]:
+                    del table[alert_id]
+                    dropped += 1
+            stale = [
+                pattern
+                for pattern in state.evidence_seen
+                if expired(state.alerts.incident_for(pattern))
+            ]
+            for pattern in stale:
+                del state.evidence_seen[pattern]
+                dropped += 1
+        self.entries_pruned += dropped
+        return dropped
+
+    # ----------------------------------------------------------------- state
+
+    def tenant_state(self, tenant: str) -> Optional[_TenantState]:
+        return self._states.get(tenant)
+
+    def alert_managers(self) -> Dict[str, AlertManager]:
+        """Per-tenant alert managers, for digesting and inspection."""
+        return {name: state.alerts for name, state in self._states.items()}
+
+    def total_alerts(self) -> int:
+        return sum(len(s.alerts) for s in self._states.values())
+
+    def incident_rows(self) -> List[Tuple]:
+        """Canonical rows for :func:`merged_alert_digest` (plain tuples)."""
+        return incident_rows(self.alert_managers())
+
+    def digest(self) -> str:
+        return merged_alert_digest(self.incident_rows())
+
+    def __repr__(self) -> str:
+        return (
+            f"<DetectionPlane tenants={len(self.registry)} "
+            f"ingested={self.events_ingested} batches={self.batches_drained} "
+            f"alerts={self.total_alerts()}>"
+        )
+
+
+# ------------------------------------------------------------------ digests
+
+
+def incident_rows(managers: Dict[str, AlertManager]) -> List[Tuple]:
+    """Canonical, sorted, plain-tuple incident rows for digesting.
+
+    Works for any per-tenant manager mapping — the batched plane, a naive
+    per-tenant :class:`~repro.core.detection.DetectionService` fan-out
+    (wrap each service's ``alert_manager``), or rows merged back from
+    ``--detect-workers`` processes.  Alert IDs are deliberately excluded:
+    they are per-manager counters and differ across worker partitionings;
+    everything observable about the incident is included.
+    """
+    rows: List[Tuple] = []
+    for tenant in sorted(managers):
+        for alert in managers[tenant].alerts:
+            rows.append(
+                (
+                    tenant,
+                    alert.type.value,
+                    str(alert.owned_prefix),
+                    str(alert.announced_prefix),
+                    -1 if alert.offender_asn is None else alert.offender_asn,
+                    alert.detected_at,
+                    alert.first_source,
+                    tuple(
+                        sorted(
+                            (
+                                e.source,
+                                e.collector,
+                                e.vantage_asn,
+                                e.kind,
+                                str(e.prefix),
+                                e.as_path,
+                                e.observed_at,
+                                e.delivered_at,
+                            )
+                            for e in alert.evidence
+                        )
+                    ),
+                )
+            )
+    rows.sort()
+    return rows
+
+
+def merged_alert_digest(rows: List[Tuple]) -> str:
+    """SHA-256 over canonically sorted incident rows.
+
+    Deterministic across batch sizes and worker counts: rows from disjoint
+    worker partitions concatenate and re-sort to exactly the single-worker
+    row list, so the digest is bit-identical by construction.
+    """
+    canonical = sorted(rows)
+    return hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()

@@ -1,0 +1,237 @@
+"""Multi-tenant ground truth: compiled, interned rule bundles.
+
+Production ARTEMIS runs detection as a *service*: one deployment holds the
+configuration of every operator (tenant) it protects, and a single shared
+prefix tree answers "whose rules match this announcement?" for the whole
+feed fan-out.  This module is the configuration side of that plane:
+
+* :class:`TenantRule` — one compiled, immutable bundle row: *tenant X
+  monitors prefix P with these legit origins / upstreams and these
+  detection knobs*.  Rows are **interned** per registry: a thousand
+  tenants sharing the same boilerplate policy (same origin set, same
+  flags) reference the same frozensets, so registry memory scales with
+  distinct policies, not with tenants × prefixes.
+* :class:`TenantRegistry` — compiles :class:`~repro.core.config.ArtemisConfig`
+  style ground truth for N tenants into bundle rows, supports incremental
+  tenant add/remove (propagated to any attached
+  :class:`~repro.tenants.prefixtree.PrefixTree`), and serializes to a
+  plain-tuple spec for shipping to ``--detect-workers`` processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import ArtemisConfig, OwnedPrefix
+from repro.errors import ConfigError
+from repro.net.prefix import Prefix
+
+
+class TenantRule:
+    """One tenant's compiled rule bundle for one monitored prefix.
+
+    Immutable and hash-shared: construct only through
+    :meth:`TenantRegistry.add_tenant` so interning applies.
+    """
+
+    __slots__ = (
+        "tenant",
+        "prefix",
+        "legit_origins",
+        "legit_upstreams",
+        "detect_subprefix",
+        "detect_path",
+        "cooldown",
+        "autoignore_visibility",
+    )
+
+    def __init__(
+        self,
+        tenant: str,
+        prefix: Prefix,
+        legit_origins: FrozenSet[int],
+        legit_upstreams: Optional[FrozenSet[int]],
+        detect_subprefix: bool,
+        detect_path: bool,
+        cooldown: float,
+        autoignore_visibility: int,
+    ):
+        self.tenant = tenant
+        self.prefix = prefix
+        self.legit_origins = legit_origins
+        self.legit_upstreams = legit_upstreams
+        self.detect_subprefix = detect_subprefix
+        self.detect_path = detect_path
+        self.cooldown = cooldown
+        self.autoignore_visibility = autoignore_visibility
+
+    def to_row(self) -> Tuple:
+        """The plain-tuple wire form (worker-spec transport)."""
+        return (
+            self.tenant,
+            str(self.prefix),
+            tuple(sorted(self.legit_origins)),
+            None
+            if self.legit_upstreams is None
+            else tuple(sorted(self.legit_upstreams)),
+            self.detect_subprefix,
+            self.detect_path,
+            self.cooldown,
+            self.autoignore_visibility,
+        )
+
+    def __repr__(self) -> str:
+        origins = ",".join(str(a) for a in sorted(self.legit_origins))
+        return f"TenantRule({self.tenant} {self.prefix} origins=[{origins}])"
+
+
+class TenantRegistry:
+    """Compiled ground truth for every tenant the detection plane serves."""
+
+    def __init__(self) -> None:
+        #: tenant name -> its rule rows, in owned-prefix declaration order.
+        self._tenants: Dict[str, Tuple[TenantRule, ...]] = {}
+        #: Interning tables: identical policy material is stored once.
+        self._asn_sets: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        self._rules: Dict[Tuple, TenantRule] = {}
+        #: Attached prefix trees, notified on tenant add/remove.
+        self._trees: List = []
+
+    # ------------------------------------------------------------- interning
+
+    def _intern_set(
+        self, asns: Optional[Iterable[int]]
+    ) -> Optional[FrozenSet[int]]:
+        if asns is None:
+            return None
+        key = frozenset(int(a) for a in asns)
+        return self._asn_sets.setdefault(key, key)
+
+    def _intern_rule(self, *fields) -> TenantRule:
+        key = (
+            fields[0],
+            fields[1],
+            fields[2],
+            fields[3],
+            fields[4],
+            fields[5],
+            fields[6],
+            fields[7],
+        )
+        rule = self._rules.get(key)
+        if rule is None:
+            rule = TenantRule(*fields)
+            self._rules[key] = rule
+        return rule
+
+    # -------------------------------------------------------------- mutation
+
+    def add_tenant(
+        self,
+        name: str,
+        config: ArtemisConfig,
+        autoignore_visibility: int = 0,
+    ) -> Tuple[TenantRule, ...]:
+        """Compile one tenant's config into interned rows and publish them.
+
+        ``autoignore_visibility`` is the tenant's alert-suppression policy:
+        a new incident is not surfaced to the notifier until at least that
+        many distinct vantage ASes have witnessed it (0 = notify at once).
+        """
+        if name in self._tenants:
+            raise ConfigError(f"tenant {name!r} already registered")
+        rows = tuple(
+            self._intern_rule(
+                name,
+                entry.prefix,
+                self._intern_set(entry.legit_origins),
+                self._intern_set(entry.legit_upstreams),
+                config.detect_subprefix,
+                config.detect_path,
+                config.alert_cooldown,
+                int(autoignore_visibility),
+            )
+            for entry in config.owned
+        )
+        self._tenants[name] = rows
+        for tree in self._trees:
+            tree.insert_rules(rows)
+        return rows
+
+    def remove_tenant(self, name: str) -> None:
+        """Retire a tenant; its rows vanish from every attached tree."""
+        rows = self._tenants.pop(name, None)
+        if rows is None:
+            raise ConfigError(f"no tenant {name!r} registered")
+        for tree in self._trees:
+            tree.remove_rules(rows)
+
+    def attach_tree(self, tree) -> None:
+        """Keep ``tree`` in sync with future add/remove calls."""
+        if tree not in self._trees:
+            self._trees.append(tree)
+
+    # ---------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def tenant_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._tenants))
+
+    def rules_for(self, name: str) -> Tuple[TenantRule, ...]:
+        return self._tenants[name]
+
+    def all_rules(self):
+        """Every rule row, grouped by tenant in sorted-tenant order."""
+        for name in sorted(self._tenants):
+            yield from self._tenants[name]
+
+    @property
+    def num_rules(self) -> int:
+        return sum(len(rows) for rows in self._tenants.values())
+
+    def monitored_prefixes(self) -> List[Prefix]:
+        """Distinct monitored prefixes across all tenants, sorted."""
+        distinct = {rule.prefix for rule in self.all_rules()}
+        return sorted(distinct, key=lambda p: p.sort_key)
+
+    def cooldown_for(self, name: str) -> float:
+        rows = self._tenants[name]
+        return rows[0].cooldown if rows else 0.0
+
+    # ------------------------------------------------------------- transport
+
+    def to_spec(self) -> List[Tuple]:
+        """Plain-tuple rows for worker processes (picklable, re-internable)."""
+        return [rule.to_row() for rule in self.all_rules()]
+
+    @classmethod
+    def from_spec(cls, rows: Sequence[Tuple]) -> "TenantRegistry":
+        """Rebuild a registry from :meth:`to_spec` rows (re-interns)."""
+        registry = cls()
+        grouped: Dict[str, List[Tuple]] = {}
+        for row in rows:
+            grouped.setdefault(row[0], []).append(row)
+        for name, tenant_rows in grouped.items():
+            first = tenant_rows[0]
+            config = ArtemisConfig(
+                [
+                    OwnedPrefix(row[1], row[2], row[3])
+                    for row in tenant_rows
+                ],
+                detect_subprefix=first[4],
+                detect_path=first[5],
+                alert_cooldown=first[6],
+            )
+            registry.add_tenant(name, config, autoignore_visibility=first[7])
+        return registry
+
+    def __repr__(self) -> str:
+        return (
+            f"<TenantRegistry {len(self._tenants)} tenants, "
+            f"{self.num_rules} rules, {len(self._rules)} interned>"
+        )

@@ -1,0 +1,378 @@
+"""Parallel detection workers: ``--detect-workers N``.
+
+Scaling the batched plane past one core means partitioning the *prefix
+space*, not the tenants: an incident's evidence is a set of announcements
+of one prefix, so if every announcement of a given monitored subtree lands
+on the same worker, each worker owns complete incidents and the merged
+result is a plain concatenation — no cross-worker reconciliation, and the
+merged digest is bit-identical to a single worker's by construction.
+
+The partition unit is a **root**: a monitored prefix not covered by any
+other monitored prefix.  Roots are disjoint by definition, so routing one
+announcement is a single longest-match against the root trie; sub-prefix
+announcements inside a root land with it.  Roots are round-robined across
+workers in canonical order — deterministic for any worker count.
+
+The parent stays out of the parse hot path: it routes raw trace record
+lines by splitting out the prefix field (field 4 of the ``|``-separated
+dump format) with a string memo, and ships line batches down a pipe; each
+worker parses and runs its own :class:`~repro.tenants.pipeline.DetectionPlane`.
+Batches carry a per-worker epoch stamp — the same loud-failure idiom as
+``repro.shard``'s route bundles: a stale, duplicated, or reordered batch
+is a protocol bug and kills the run, never a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.feeds.dumpfile import parse_event
+from repro.feeds.replay import TraceError, _FOOTER_TAG, _HEADER_TAG
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+from repro.perf import COUNTERS as _COUNTERS, sample_memory
+from repro.tenants.pipeline import DetectionPlane, merged_alert_digest
+from repro.tenants.registry import TenantRegistry
+
+
+class TenantWorkerError(ReproError):
+    """A detection worker died or broke the batch protocol."""
+
+
+# ---------------------------------------------------------------- partition
+
+
+def partition_roots(prefixes: Sequence[Prefix]) -> List[Prefix]:
+    """The maximal monitored prefixes (covered by no other monitored one).
+
+    Sorted canonically; this is the routing unit for worker partitioning.
+    """
+    trie: PrefixTrie[Prefix] = PrefixTrie()
+    for prefix in prefixes:
+        trie.insert(prefix, prefix)
+    return [
+        prefix
+        for prefix in trie.keys()
+        # The covering chain includes the prefix itself; a root's chain is
+        # exactly that single entry.
+        if len(trie.covering_values(prefix)) == 1
+    ]
+
+
+def assign_roots(
+    roots: Sequence[Prefix], num_workers: int
+) -> PrefixTrie:
+    """Round-robin roots over workers; returns the root → worker trie."""
+    routing: PrefixTrie[int] = PrefixTrie()
+    ordered = sorted(roots, key=lambda p: p.sort_key)
+    for index, root in enumerate(ordered):
+        routing.insert(root, index % num_workers)
+    return routing
+
+
+# ------------------------------------------------------------- trace lines
+
+
+def iter_trace_lines(path: str) -> Iterable[str]:
+    """Yield the raw record lines of a trace file (header/footer checked).
+
+    The parallel plane routes lines without parsing them into events, so
+    this is the cheap streaming complement to
+    :func:`~repro.feeds.replay.load_trace` (which parses and verifies every
+    record).  Truncation — no footer — still fails loudly.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first.startswith(_HEADER_TAG):
+            raise TraceError("not a trace file: missing header line")
+        sealed = False
+        for line in handle:
+            if line.startswith(_FOOTER_TAG):
+                sealed = True
+                break
+            yield line.rstrip("\n")
+        if not sealed:
+            raise TraceError("truncated trace: no footer")
+
+
+# ------------------------------------------------------------------ worker
+
+
+def tenant_worker_main(worker_id: int, spec_rows: List[Tuple],
+                       batch_size: int, conn) -> None:
+    """Entry point of one detection worker process."""
+    _COUNTERS.reset()
+    perf_mark = _COUNTERS.as_dict()
+    cpu_mark = time.process_time()
+    try:
+        registry = TenantRegistry.from_spec(spec_rows)
+        plane = DetectionPlane(registry, batch_size=batch_size)
+    except BaseException as exc:  # noqa: BLE001 - must report, then die
+        conn.send(("error", f"detect worker {worker_id} build failed: {exc!r}"))
+        conn.close()
+        return
+    expected_epoch = 1
+    while True:
+        try:
+            request = conn.recv()
+        except EOFError:
+            break
+        command = request[0]
+        try:
+            if command == "batch":
+                epoch, lines = request[1], request[2]
+                if epoch != expected_epoch:
+                    raise TenantWorkerError(
+                        f"detect worker {worker_id}: batch epoch {epoch} "
+                        f"arrived, expected {expected_epoch} — stale, "
+                        "duplicated, or reordered shipment"
+                    )
+                expected_epoch += 1
+                _COUNTERS.detect_worker_batches += 1
+                ingest = plane.ingest
+                for line in lines:
+                    ingest(parse_event(line))
+            elif command == "finish":
+                plane.flush()
+                plane.prune_state(plane._last_event_time)
+                sample_memory()
+                conn.send(
+                    (
+                        "ok",
+                        {
+                            "worker": worker_id,
+                            "rows": plane.incident_rows(),
+                            "alerts": plane.total_alerts(),
+                            "events_ingested": plane.events_ingested,
+                            "batches": plane.batches_drained,
+                            "entries_pruned": plane.entries_pruned,
+                            "perf": _COUNTERS.delta_since(perf_mark),
+                            "cpu_seconds": time.process_time() - cpu_mark,
+                        },
+                    )
+                )
+            elif command == "stop":
+                break
+            else:
+                raise TenantWorkerError(
+                    f"detect worker {worker_id}: unknown command {command!r}"
+                )
+        except BaseException as exc:  # noqa: BLE001 - report, then die
+            try:
+                conn.send(("error", f"{exc!r}"))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+    conn.close()
+
+
+# ------------------------------------------------------------------ parent
+
+
+class ParallelDetectionPlane:
+    """Route a recorded trace across N detection worker processes.
+
+    Usage::
+
+        plane = ParallelDetectionPlane(registry, num_workers=4)
+        plane.start()
+        plane.feed_trace(trace_path)     # or feed_lines(...)
+        result = plane.finish()          # rows, digest, per-worker cpu
+
+    Determinism: the routing partition depends only on the registry's
+    monitored prefixes, and each incident's evidence lands whole on one
+    worker, so ``result["digest"]`` equals the single-process
+    :meth:`DetectionPlane.digest` for any ``num_workers``.
+    """
+
+    #: Record lines buffered per worker before a pipe shipment.
+    LINES_PER_SHIPMENT = 4096
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        num_workers: int,
+        batch_size: int = 256,
+    ):
+        if num_workers < 1:
+            raise ReproError("num_workers must be >= 1")
+        self.registry = registry
+        self.num_workers = int(num_workers)
+        self.batch_size = int(batch_size)
+        monitored = registry.monitored_prefixes()
+        if not monitored:
+            raise ReproError("registry has no monitored prefixes to partition")
+        self.roots = partition_roots(monitored)
+        self._routing = assign_roots(self.roots, self.num_workers)
+        self._route_memo: Dict[str, Optional[int]] = {}
+        self._buffers: List[List[str]] = [[] for _ in range(self.num_workers)]
+        self._epochs = [0] * self.num_workers
+        self._conns: List = []
+        self._processes: List = []
+        self.events_routed = 0
+        self.events_unrouted = 0
+        self.started = False
+        self.finished = False
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Partition the registry and fork the worker processes."""
+        if self.started:
+            return
+        import multiprocessing
+
+        spec = self._worker_specs()
+        context = multiprocessing.get_context("fork")
+        for worker_id in range(self.num_workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=tenant_worker_main,
+                args=(worker_id, spec[worker_id], self.batch_size, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._processes.append(process)
+        self.started = True
+
+    def _worker_specs(self) -> List[List[Tuple]]:
+        """Each worker's registry spec: only the rules under its roots."""
+        specs: List[List[Tuple]] = [[] for _ in range(self.num_workers)]
+        match = self._routing.longest_match
+        for rule in self.registry.all_rules():
+            hit = match(rule.prefix)
+            if hit is None:  # pragma: no cover - every rule sits under a root
+                raise ReproError(f"rule {rule!r} not covered by any root")
+            specs[hit[1]].append(rule.to_row())
+        return specs
+
+    # ------------------------------------------------------------- routing
+
+    def _worker_for(self, prefix_field: str) -> Optional[int]:
+        memo = self._route_memo
+        worker = memo.get(prefix_field, -2)
+        if worker != -2:
+            return worker
+        hit = self._routing.longest_match(Prefix.parse(prefix_field))
+        worker = None if hit is None else hit[1]
+        memo[prefix_field] = worker
+        return worker
+
+    def feed_lines(self, lines: Iterable[str]) -> None:
+        """Route record lines to their owning workers (batched shipments)."""
+        if not self.started:
+            self.start()
+        buffers = self._buffers
+        limit = self.LINES_PER_SHIPMENT
+        for line in lines:
+            # Field 4 of the dump format is the announced prefix; routing
+            # needs nothing else, so skip the full parse in the parent.
+            prefix_field = line.split("|", 5)[4]
+            worker = self._worker_for(prefix_field)
+            if worker is None:
+                # Covered by no monitored root: no tenant can match it.
+                self.events_unrouted += 1
+                continue
+            self.events_routed += 1
+            _COUNTERS.detect_events_routed += 1
+            buffer = buffers[worker]
+            buffer.append(line)
+            if len(buffer) >= limit:
+                self._ship(worker)
+
+    def feed_trace(self, path: str) -> None:
+        self.feed_lines(iter_trace_lines(path))
+
+    def _ship(self, worker: int) -> None:
+        buffer = self._buffers[worker]
+        if not buffer:
+            return
+        self._epochs[worker] += 1
+        self._conns[worker].send(("batch", self._epochs[worker], buffer))
+        self._buffers[worker] = []
+
+    # -------------------------------------------------------------- finish
+
+    def finish(self) -> Dict:
+        """Flush, collect every worker's results, merge, and shut down.
+
+        Merges worker perf deltas into the parent's counters (sum for
+        counters, max for gauges) and returns::
+
+            {"rows", "digest", "alerts", "cpu_seconds": [per worker],
+             "critical_path_cpu", "events_routed", "events_unrouted",
+             "workers": [per-worker payloads]}
+        """
+        if self.finished:
+            raise ReproError("parallel plane already finished")
+        if not self.started:
+            self.start()
+        for worker in range(self.num_workers):
+            self._ship(worker)
+            self._conns[worker].send(("finish",))
+        payloads = []
+        for worker in range(self.num_workers):
+            try:
+                status, payload = self._conns[worker].recv()
+            except EOFError:
+                raise TenantWorkerError(
+                    f"detect worker {worker} died before reporting"
+                ) from None
+            if status != "ok":
+                raise TenantWorkerError(str(payload))
+            payloads.append(payload)
+            _COUNTERS.merge(payload["perf"])
+        self.finished = True
+        self._shutdown()
+        rows: List[Tuple] = []
+        for payload in payloads:
+            rows.extend(payload["rows"])
+        rows.sort()
+        cpu = [payload["cpu_seconds"] for payload in payloads]
+        return {
+            "rows": rows,
+            "digest": merged_alert_digest(rows),
+            "alerts": sum(payload["alerts"] for payload in payloads),
+            "cpu_seconds": cpu,
+            "critical_path_cpu": max(cpu) if cpu else 0.0,
+            "events_routed": self.events_routed,
+            "events_unrouted": self.events_unrouted,
+            "workers": payloads,
+        }
+
+    def _shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5.0)
+        self._conns = []
+        self._processes = []
+
+    def close(self) -> None:
+        """Abort without collecting (error-path cleanup)."""
+        if self._processes:
+            self._shutdown()
+
+    def __enter__(self) -> "ParallelDetectionPlane":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ParallelDetectionPlane workers={self.num_workers} "
+            f"roots={len(self.roots)} routed={self.events_routed}>"
+        )
