@@ -1,0 +1,144 @@
+"""Taxonomy accuracy×delay matrix bench: the full attacker sweep, pinned.
+
+Runs :func:`repro.eval.taxonomy.run_taxonomy_matrix` over every attacker
+class — type-0, type-1, type-2 (the deepest forgeable tail on this
+world), type-U, squatting, route-leak — plus the benign false-positive
+suite with and without data-plane corroboration, and guards:
+
+* **accuracy** — every class must be caught by its matching rule (all
+  cells TP: no misclassifications, no misses);
+* **per-class detection delay** — simulated seconds, deterministic per
+  seed, bounded per class;
+* **zero false positives** with corroboration, and the exact expected
+  rule firings without it;
+* **wall-clock** — the whole sweep under ``TAXONOMY_MAX_WALL`` host
+  seconds (0 disables; the CI smoke job pins this).
+
+``BENCH_taxonomy.json`` (next to this file) records the matrix;
+regenerate with::
+
+    TAXONOMY_BENCH_WRITE=1 PYTHONPATH=src \
+        python -m pytest benchmarks/test_taxonomy.py -s --benchmark-only
+
+Environment knobs:
+
+``TAXONOMY_BENCH_SEEDS``
+    Comma-separated experiment seeds per class (default "11").
+``TAXONOMY_MAX_WALL``
+    Host-seconds ceiling for the full sweep (default 0 = disabled).
+``TAXONOMY_BENCH_WRITE``
+    Write ``BENCH_taxonomy.json`` when set to 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import run_once
+from repro.eval.taxonomy import (
+    TAXONOMY,
+    run_false_positive_suite,
+    run_taxonomy_matrix,
+)
+
+_BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_taxonomy.json")
+
+SEEDS = tuple(
+    int(s)
+    for s in os.environ.get("TAXONOMY_BENCH_SEEDS", "11").split(",")
+    if s.strip()
+)
+MAX_WALL = float(os.environ.get("TAXONOMY_MAX_WALL", "0"))
+
+#: Simulated-seconds detection ceiling per class (see tests/test_taxonomy.py).
+DELAY_BOUNDS = {
+    "type-0": 10.0,
+    "type-1": 10.0,
+    "type-2": 60.0,
+    "type-U": 10.0,
+    "squatting": 10.0,
+    "route-leak": 60.0,
+}
+
+
+@pytest.mark.slow
+def test_taxonomy_matrix_accuracy_and_delay(benchmark):
+    started = time.perf_counter()
+    matrix = run_once(benchmark, lambda: run_taxonomy_matrix(seeds=SEEDS))
+    wall = time.perf_counter() - started
+
+    assert matrix["accuracy"] == 1.0, matrix["per_class"]
+    for hijack_type, stats in matrix["per_class"].items():
+        assert stats["tp"] == stats["runs"], (hijack_type, stats)
+        assert stats["misclassified"] == 0 and stats["fn"] == 0
+        assert stats["mitigated"] == stats["runs"]
+        assert stats["detection_delay_max"] <= DELAY_BOUNDS[hijack_type], (
+            hijack_type,
+            stats,
+        )
+
+    fp_with = run_false_positive_suite(corroborate=True)
+    fp_without = run_false_positive_suite(corroborate=False)
+    assert fp_with["total_false_positives"] == 0, fp_with
+    # Without corroboration exactly the two gated look-alikes page.
+    fired = {
+        s["name"]: s["alert_types"] for s in fp_without["scenarios"]
+    }
+    assert fired == {
+        "legit-moas": ["exact-origin"],
+        "new-peering": ["path"],
+        "benign-deaggregation": [],
+    }
+
+    if MAX_WALL:
+        assert wall <= MAX_WALL, f"taxonomy sweep took {wall:.1f}s > {MAX_WALL}s"
+
+    table = {
+        "seeds": list(SEEDS),
+        "per_class": matrix["per_class"],
+        "cells": matrix["cells"],
+        "accuracy": matrix["accuracy"],
+        "false_positives": {
+            "corroborated": fp_with,
+            "control_plane_only": fp_without,
+        },
+    }
+    benchmark.extra_info["taxonomy"] = table
+    print(
+        "\ntaxonomy matrix:",
+        json.dumps(
+            {
+                k: {
+                    "tp": v["tp"],
+                    "runs": v["runs"],
+                    "delay_mean": v["detection_delay_mean"],
+                }
+                for k, v in matrix["per_class"].items()
+            },
+            indent=1,
+        ),
+    )
+    if os.environ.get("TAXONOMY_BENCH_WRITE") == "1":
+        with open(_BENCH_JSON, "w", encoding="utf-8") as handle:
+            json.dump(table, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {_BENCH_JSON}")
+
+
+@pytest.mark.slow
+def test_bench_json_matches_taxonomy():
+    """The committed BENCH numbers must cover every taxonomy class."""
+    with open(_BENCH_JSON, encoding="utf-8") as handle:
+        recorded = json.load(handle)
+    assert set(recorded["per_class"]) == set(TAXONOMY)
+    assert recorded["accuracy"] == 1.0
+    assert (
+        recorded["false_positives"]["corroborated"]["total_false_positives"] == 0
+    )
+    for hijack_type, stats in recorded["per_class"].items():
+        assert stats["expected_alert"] == TAXONOMY[hijack_type]
+        assert stats["detection_delay_mean"] is not None

@@ -525,6 +525,13 @@ class BGPSpeaker:
             # are for ``prefix`` by construction.
             and best.origin_attr == old.origin_attr
             and best.as_path == old.as_path
+            # Same peer too: a learned path always starts with its peer's
+            # ASN, so an identical path from a *different* source can only
+            # be a local route displacing a learned one (a route leak /
+            # type-U forgery re-originating the real path).  That flips
+            # the export relationship from customers-only to everyone, so
+            # it must fall through and generate export churn.
+            and best.peer_asn == old.peer_asn
         ):
             # Same path re-learned (e.g. duplicate announcement): refresh the
             # stored object but generate no churn.

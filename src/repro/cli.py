@@ -67,6 +67,28 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
         help="type-1 hijack: forge the victim as path origin",
     )
     parser.add_argument(
+        "--hijack-type",
+        default=None,
+        metavar="TYPE",
+        help="attacker model from the full taxonomy: type-0, type-1, "
+        "type-N (any N), type-U, squatting, route-leak "
+        "(default: type-1 with --forge-origin, type-0 otherwise)",
+    )
+    parser.add_argument(
+        "--corroborate",
+        dest="corroborate",
+        action="store_true",
+        default=None,
+        help="gate low-confidence verdicts on a data-plane probe "
+        "(default: only for type-U, which needs it)",
+    )
+    parser.add_argument(
+        "--no-corroborate",
+        dest="corroborate",
+        action="store_false",
+        help="disable data-plane corroboration",
+    )
+    parser.add_argument(
         "--helpers", type=int, default=0, help="outsourced-mitigation helper ASes"
     )
     parser.add_argument(
@@ -134,6 +156,8 @@ def _scenario_from_args(args: argparse.Namespace, seed: Optional[int] = None) ->
         churn=None if args.no_churn else ScenarioConfig().churn,
         churn_warmup=0.0 if args.no_churn else 180.0,
         forge_origin=args.forge_origin,
+        hijack_type=getattr(args, "hijack_type", None),
+        corroborate=getattr(args, "corroborate", None),
         num_helpers=args.helpers,
         faults=args.faults,
         failover_to_batch=args.failover_to_batch,
@@ -416,6 +440,53 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_taxonomy(args: argparse.Namespace) -> int:
+    """Sweep the hijack taxonomy and print the accuracy×delay matrix."""
+    from repro.eval.taxonomy import (
+        TAXONOMY,
+        run_false_positive_suite,
+        run_taxonomy_matrix,
+    )
+
+    classes = args.classes or list(TAXONOMY)
+    matrix = run_taxonomy_matrix(seeds=list(args.seeds), classes=classes)
+    rows = [
+        [
+            hijack_type,
+            stats["expected_alert"],
+            f"{stats['tp']}/{stats['runs']}",
+            stats["misclassified"],
+            stats["fn"],
+            stats["mitigated"],
+            stats["detection_delay_mean"],
+        ]
+        for hijack_type, stats in matrix["per_class"].items()
+    ]
+    print(
+        format_table(
+            ["class", "rule", "tp", "misclass", "fn", "mitigated", "delay (s)"],
+            rows,
+            title=f"taxonomy matrix over seeds {list(args.seeds)}",
+            precision=2,
+        )
+    )
+    fp = run_false_positive_suite(corroborate=not args.no_corroborate)
+    print()
+    print(
+        format_table(
+            ["benign scenario", "events", "false positives"],
+            [[s["name"], s["events"], s["false_positives"]] for s in fp["scenarios"]],
+            title="false-positive suite "
+            + ("(corroborated)" if fp["corroborate"] else "(control-plane only)"),
+        )
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"matrix": matrix, "false_positives": fp}, handle, indent=2)
+        print(f"\nmatrix written to {args.json}")
+    return 0
+
+
 def cmd_baselines(args: argparse.Namespace) -> int:
     """Compare ARTEMIS against third-party pipelines on one hijack."""
     artemis_result = HijackExperiment(_scenario_from_args(args)).run()
@@ -681,6 +752,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     suite.add_argument("--json", default=None, help="write results JSON here")
     suite.set_defaults(func=cmd_suite)
+
+    taxonomy = commands.add_parser(
+        "taxonomy", help="sweep the full hijack taxonomy (accuracy × delay)"
+    )
+    taxonomy.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[11],
+        help="experiment seeds per class",
+    )
+    taxonomy.add_argument(
+        "--classes",
+        nargs="+",
+        default=None,
+        metavar="TYPE",
+        help="taxonomy classes to sweep (default: all)",
+    )
+    taxonomy.add_argument(
+        "--no-corroborate",
+        action="store_true",
+        help="run the false-positive suite without the data-plane probe",
+    )
+    taxonomy.add_argument("--json", default=None, help="write the matrix JSON here")
+    taxonomy.set_defaults(func=cmd_taxonomy)
 
     baselines = commands.add_parser(
         "baselines", help="compare against third-party pipelines"

@@ -24,12 +24,22 @@ class AlertType(enum.Enum):
     ``EXACT_ORIGIN`` — the owned prefix announced with an illegitimate
     origin (the demo paper's experiment).  ``SUB_PREFIX`` — a more-specific
     of an owned prefix announced by someone else.  ``PATH`` — legitimate
-    origin but an illegitimate first hop (type-1 hijack; extension).
+    origin but an illegitimate first hop (type-1 hijack).  ``PATH_N`` —
+    legitimate origin and first hop but a forged link deeper in the path
+    (type-N, caught by adjacency verification).  ``UNCHANGED_PATH`` —
+    control plane indistinguishable from legitimate (type-U), flagged only
+    by data-plane corroboration.  ``SQUATTING`` — announcement inside
+    owned-but-unannounced address space.  ``ROUTE_LEAK`` — a stub AS
+    re-exporting a provider/peer route (appears in a transit position).
     """
 
     EXACT_ORIGIN = "exact-origin"
     SUB_PREFIX = "sub-prefix"
     PATH = "path"
+    PATH_N = "path-n"
+    UNCHANGED_PATH = "unchanged-path"
+    SQUATTING = "squatting"
+    ROUTE_LEAK = "route-leak"
 
 
 class AlertStatus(enum.Enum):

@@ -59,9 +59,9 @@ class Artemis:
         self.supervisor = supervisor
         if supervisor is not None:
             self.detection.attach_supervisor(supervisor)
-            owned = config.owned_prefixes
-            supervisor.register_failover(self.detection.handle_event, owned)
-            supervisor.register_failover(self.monitoring.handle_event, owned)
+            monitored = config.monitored_prefixes
+            supervisor.register_failover(self.detection.handle_event, monitored)
+            supervisor.register_failover(self.monitoring.handle_event, monitored)
         self._alert_callbacks: List[Callable[[HijackAlert], None]] = []
         self._running = False
         self.detection.on_alert(self._handle_alert)
@@ -80,7 +80,7 @@ class Artemis:
         self.detection.start(self.sources)
         self.monitoring.start(self.sources)
         if self.periscope is not None:
-            self.periscope.watch(self.config.owned_prefixes)
+            self.periscope.watch(self.config.monitored_prefixes)
         if self.supervisor is not None:
             self.supervisor.start()
 

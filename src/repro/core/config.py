@@ -87,6 +87,68 @@ class OwnedPrefix:
         return f"OwnedPrefix({self.prefix} origins=[{origins}])"
 
 
+class OwnedSpace:
+    """Address space the operator holds but does not announce.
+
+    Anything originated inside it — by anyone except the operator's own
+    ASNs (``legit_origins``) — is prefix *squatting*: the squatter is not
+    competing with any announcement, so origin/path checks never see a
+    conflict and only this covered-but-unconfigured rule catches it.
+    """
+
+    __slots__ = ("prefix", "legit_origins", "description")
+
+    def __init__(
+        self,
+        prefix: Union[Prefix, str],
+        legit_origins: Iterable[int],
+        description: str = "",
+    ):
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self.prefix = prefix
+        self.legit_origins: FrozenSet[int] = frozenset(int(a) for a in legit_origins)
+        if not self.legit_origins:
+            raise ConfigError(f"owned space {prefix} needs at least one legit origin")
+        self.description = description
+
+    def to_dict(self) -> Dict:
+        data: Dict = {
+            "prefix": str(self.prefix),
+            "legit_origins": sorted(self.legit_origins),
+        }
+        if self.description:
+            data["description"] = self.description
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "OwnedSpace":
+        try:
+            return cls(
+                data["prefix"],
+                data["legit_origins"],
+                data.get("description", ""),
+            )
+        except KeyError as missing:
+            raise ConfigError(f"owned space entry missing key {missing}") from None
+
+    def __repr__(self) -> str:
+        origins = ",".join(str(a) for a in sorted(self.legit_origins))
+        return f"OwnedSpace({self.prefix} origins=[{origins}])"
+
+
+def normalize_adjacencies(
+    adjacencies: Optional[Dict[int, Iterable[int]]],
+) -> Optional[Dict[int, FrozenSet[int]]]:
+    """Canonical (int-keyed, frozenset-valued) form of an adjacency map."""
+    if adjacencies is None:
+        return None
+    return {
+        int(asn): frozenset(int(n) for n in neighbors)
+        for asn, neighbors in adjacencies.items()
+    }
+
+
 class ArtemisConfig:
     """Full ARTEMIS configuration."""
 
@@ -100,6 +162,11 @@ class ArtemisConfig:
         detect_subprefix: bool = True,
         detect_path: bool = True,
         alert_cooldown: float = 0.0,
+        owned_space: Sequence[OwnedSpace] = (),
+        adjacencies: Optional[Dict[int, Iterable[int]]] = None,
+        leak_sentinels: Optional[Iterable[int]] = None,
+        detect_squatting: bool = True,
+        detect_unchanged_path: bool = True,
     ):
         if not owned:
             raise ConfigError("ARTEMIS needs at least one owned prefix")
@@ -109,6 +176,31 @@ class ArtemisConfig:
             if entry.prefix in self._trie:
                 raise ConfigError(f"duplicate owned prefix {entry.prefix}")
             self._trie[entry.prefix] = entry
+        #: Held-but-unannounced space (squatting ground truth).
+        self.owned_space: List[OwnedSpace] = list(owned_space)
+        self._space_trie: PrefixTrie[OwnedSpace] = PrefixTrie()
+        for space in self.owned_space:
+            if space.prefix in self._space_trie:
+                raise ConfigError(f"duplicate owned space {space.prefix}")
+            if space.prefix in self._trie:
+                raise ConfigError(
+                    f"{space.prefix} configured as both owned prefix and owned space"
+                )
+            self._space_trie[space.prefix] = space
+        #: Configured/learned AS adjacency map for hop-N path verification
+        #: (``None`` disables the type-N rule, as partial maps are normal).
+        self.adjacencies: Optional[Dict[int, FrozenSet[int]]] = (
+            normalize_adjacencies(adjacencies)
+        )
+        #: ASes known to be stubs (never legitimate transit); one of them
+        #: strictly interior to an AS path means a route leak.
+        self.leak_sentinels: Optional[FrozenSet[int]] = (
+            frozenset(int(a) for a in leak_sentinels)
+            if leak_sentinels is not None
+            else None
+        )
+        self.detect_squatting = bool(detect_squatting)
+        self.detect_unchanged_path = bool(detect_unchanged_path)
         #: Announce nothing more specific than this (ISP filtering reality).
         self.max_announce_length_v4 = int(max_announce_length_v4)
         self.max_announce_length_v6 = int(max_announce_length_v6)
@@ -130,6 +222,13 @@ class ArtemisConfig:
     def owned_prefixes(self) -> List[Prefix]:
         return [entry.prefix for entry in self.owned]
 
+    @property
+    def monitored_prefixes(self) -> List[Prefix]:
+        """All prefixes detection must see feed events for (owned + space)."""
+        return [entry.prefix for entry in self.owned] + [
+            space.prefix for space in self.owned_space
+        ]
+
     def entry_for(self, prefix: Prefix) -> Optional[OwnedPrefix]:
         """Exact owned entry for ``prefix``, if configured."""
         return self._trie.get(prefix)
@@ -139,13 +238,22 @@ class ArtemisConfig:
         match = self._trie.longest_match(prefix)
         return match[1] if match else None
 
+    def covering_space(self, prefix: Prefix) -> Optional[OwnedSpace]:
+        """The most specific owned *space* covering ``prefix`` (or None).
+
+        Covering includes the exact prefix itself — squatting the whole
+        unannounced block is still squatting.
+        """
+        match = self._space_trie.longest_match(prefix)
+        return match[1] if match else None
+
     def max_announce_length(self, version: int) -> int:
         return self.max_announce_length_v4 if version == 4 else self.max_announce_length_v6
 
     # ------------------------------------------------------------- persistence
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "owned": [entry.to_dict() for entry in self.owned],
             "auto_mitigate": self.auto_mitigate,
             "max_announce_length_v4": self.max_announce_length_v4,
@@ -154,7 +262,19 @@ class ArtemisConfig:
             "detect_subprefix": self.detect_subprefix,
             "detect_path": self.detect_path,
             "alert_cooldown": self.alert_cooldown,
+            "detect_squatting": self.detect_squatting,
+            "detect_unchanged_path": self.detect_unchanged_path,
         }
+        if self.owned_space:
+            data["owned_space"] = [space.to_dict() for space in self.owned_space]
+        if self.adjacencies is not None:
+            data["adjacencies"] = {
+                str(asn): sorted(neighbors)
+                for asn, neighbors in sorted(self.adjacencies.items())
+            }
+        if self.leak_sentinels is not None:
+            data["leak_sentinels"] = sorted(self.leak_sentinels)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ArtemisConfig":
@@ -170,6 +290,13 @@ class ArtemisConfig:
             detect_subprefix=data.get("detect_subprefix", True),
             detect_path=data.get("detect_path", True),
             alert_cooldown=data.get("alert_cooldown", 0.0),
+            owned_space=[
+                OwnedSpace.from_dict(entry) for entry in data.get("owned_space", ())
+            ],
+            adjacencies=data.get("adjacencies"),
+            leak_sentinels=data.get("leak_sentinels"),
+            detect_squatting=data.get("detect_squatting", True),
+            detect_unchanged_path=data.get("detect_unchanged_path", True),
         )
 
     def __repr__(self) -> str:

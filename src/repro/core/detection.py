@@ -9,7 +9,19 @@ Each arriving feed event is checked against the operator's ground truth:
 * announced prefix is **more specific** than an owned prefix and the origin
   is not legit → ``SUB_PREFIX`` alert;
 * origin legit but the AS adjacent to it is not a configured upstream →
-  ``PATH`` (type-1) alert — extension beyond the demo.
+  ``PATH`` (type-1) alert;
+* origin and first hop legit but a deeper path link absent from the
+  configured adjacency map → ``PATH_N`` (type-N) alert;
+* a leak sentinel (known stub) in a transit position → ``ROUTE_LEAK``;
+* announcement inside owned-but-unannounced space → ``SQUATTING``;
+* control plane clean but the data-plane corroboration probe unhealthy →
+  ``UNCHANGED_PATH`` (type-U).
+
+The full rule ladder lives in :mod:`repro.core.rules` and is shared with
+the multi-tenant plane, so both classify byte-identically.  An attached
+corroboration probe additionally *gates* the low-confidence verdicts
+(exact-origin / path): a healthy data plane suppresses them, which is what
+keeps legitimate MOAS and new-peering events from paging the operator.
 
 Because the sources are independent, the incident's detection delay is the
 minimum of the per-source delays (paper §2); the service records the first
@@ -22,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.alerts import AlertManager, AlertType, HijackAlert
 from repro.core.config import ArtemisConfig
+from repro.core.rules import CorroborationProbe, classify_announcement, classify_squat
 from repro.feeds.events import FeedEvent
 from repro.perf import COUNTERS as _COUNTERS
 
@@ -59,6 +72,9 @@ class DetectionService:
         self.supervisor = None
         #: Per alert id: sorted tuple of live source names at alert time.
         self.live_at_alert: Dict[int, Tuple[str, ...]] = {}
+        #: Optional data-plane corroboration probe (see
+        #: :meth:`attach_corroborator`); ``None`` → control-plane only.
+        self.corroborator: Optional[CorroborationProbe] = None
         #: Per incident pattern: content keys of evidence already ingested.
         #: A duplicating transport (or a replayed trace under a ``dup``
         #: fault) can deliver the *byte-identical* event twice.  Copies are
@@ -88,8 +104,20 @@ class DetectionService:
         """Record source liveness (``live_at_alert``) for each new incident."""
         self.supervisor = supervisor
 
+    def attach_corroborator(self, probe: Optional[CorroborationProbe]) -> None:
+        """Install (or remove) the data-plane corroboration probe.
+
+        ``probe(prefix) -> bool`` answers "is the data plane for this
+        prefix healthy right now?".  A healthy answer gates low-confidence
+        control-plane verdicts; an unhealthy answer on an otherwise clean
+        announcement raises ``UNCHANGED_PATH`` (type-U).  With no probe
+        attached, classification is control-plane-only.
+        """
+        self.corroborator = probe
+
     def start(self, sources: List) -> None:
-        """Subscribe to every source, filtered to the owned prefixes.
+        """Subscribe to every source, filtered to the monitored prefixes
+        (owned plus owned-but-unannounced space).
 
         Each source must expose ``subscribe(callback, prefixes=...)`` —
         streams, Periscope, and batch archives all do.
@@ -97,7 +125,7 @@ class DetectionService:
         if self.started:
             return
         self.started = True
-        prefixes = self.config.owned_prefixes
+        prefixes = self.config.monitored_prefixes
         for source in sources:
             self._subscriptions.append(
                 source.subscribe(self.handle_event, prefixes=prefixes)
@@ -152,36 +180,69 @@ class DetectionService:
     def classify(
         self, event: FeedEvent
     ) -> Optional[Tuple[AlertType, "Prefix", Optional[int]]]:
-        """Pure classification: ``(type, owned_prefix, offender)`` or None."""
-        entry = self.config.entry_for(event.prefix)
+        """Pure classification: ``(type, owned_prefix, offender)`` or None.
+
+        Precedence: exact owned entry, then the deeper of the covering
+        owned prefix vs. covering owned *space* (a /24 inside an owned /23
+        is a sub-prefix incident even when a wider space block also covers
+        it; a /24 inside space only is a squatting candidate).
+        """
+        config = self.config
+        entry = config.entry_for(event.prefix)
         if entry is not None:
             # Exact announcement of an owned prefix.
-            if not entry.origin_is_legit(event.origin_as):
-                return AlertType.EXACT_ORIGIN, entry.prefix, event.origin_as
-            return self._check_path(event, entry)
-        covering = self.config.covering_entry(event.prefix)
+            return self._verdict(event, entry, exact=True)
+        covering = config.covering_entry(event.prefix)
+        space = config.covering_space(event.prefix) if config.owned_space else None
         if covering is not None and event.prefix.is_more_specific_of(covering.prefix):
-            # A more-specific inside owned space, not configured by us.
-            if not covering.origin_is_legit(event.origin_as):
-                if self.config.detect_subprefix:
-                    return AlertType.SUB_PREFIX, covering.prefix, event.origin_as
+            if space is None or space.prefix.length <= covering.prefix.length:
+                # A more-specific inside owned announced space.
+                return self._verdict(event, covering, exact=False)
+            # A deeper unannounced hole inside announced space: squatting
+            # semantics win (fall through).
+        if space is not None and config.detect_squatting:
+            verdict = classify_squat(event.origin_as, space.legit_origins)
+            if verdict is None:
                 return None
-            return self._check_path(event, covering)
+            alert_type, offender = verdict
+            return alert_type, space.prefix, offender
         return None
+
+    def _verdict(
+        self, event: FeedEvent, entry, exact: bool
+    ) -> Optional[Tuple[AlertType, "Prefix", Optional[int]]]:
+        """Run the shared rule ladder against one owned entry."""
+        config = self.config
+        verdict = classify_announcement(
+            event.prefix,
+            event.as_path,
+            event.vantage_asn,
+            exact,
+            entry.legit_origins,
+            entry.legit_upstreams,
+            neighbors=config.adjacencies,
+            leak_sentinels=config.leak_sentinels,
+            detect_subprefix=config.detect_subprefix,
+            detect_path=config.detect_path,
+            detect_unchanged_path=config.detect_unchanged_path,
+            probe=self.corroborator,
+        )
+        if verdict is None:
+            return None
+        alert_type, offender = verdict
+        return alert_type, entry.prefix, offender
 
     def _check_path(
         self, event: FeedEvent, entry
     ) -> Optional[Tuple[AlertType, "Prefix", Optional[int]]]:
-        """Type-1 (first hop) check for a legit-origin announcement."""
-        if not self.config.detect_path or entry.legit_upstreams is None:
+        """Path-family checks for a legit-origin announcement.
+
+        Kept as a thin named stage over the shared rule ladder (tests and
+        tools call it directly); ``classify`` goes through :meth:`_verdict`.
+        """
+        if not entry.origin_is_legit(event.origin_as):
             return None
-        path = event.as_path
-        if len(path) < 2:
-            return None
-        upstream = path[-2]
-        if entry.upstream_is_legit(upstream):
-            return None
-        return AlertType.PATH, entry.prefix, upstream
+        return self._verdict(event, entry, exact=False)
 
     # --------------------------------------------------------- state bounding
 

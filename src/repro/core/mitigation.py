@@ -36,6 +36,17 @@ from repro.sdn.controller import BGPController, ControllerOp
 from repro.sim.latency import Delay, Uniform, make_delay
 from repro.sim.rng import SeededRNG
 
+#: Alert types whose offending announcement keeps the legitimate origin:
+#: mitigation targets the owned prefix, not the announced one.
+_PATH_FAMILY = frozenset(
+    {
+        AlertType.PATH,
+        AlertType.PATH_N,
+        AlertType.UNCHANGED_PATH,
+        AlertType.ROUTE_LEAK,
+    }
+)
+
 
 class HelperFleet:
     """Well-connected ASes that announce the victim's prefixes on request.
@@ -167,11 +178,14 @@ class MitigationService:
         """Compute the counter-announcement for ``alert`` (no side effects)."""
         now = self.controller.engine.now
         limit = self.config.max_announce_length(alert.announced_prefix.version)
-        if alert.type is AlertType.PATH:
-            # Path hijacks keep the legit origin; de-aggregation still pulls
-            # traffic to shortest legit paths. Compete on the owned prefix.
+        if alert.type in _PATH_FAMILY:
+            # Path-family hijacks (type-1/type-N/type-U) and route leaks
+            # keep the legit origin; de-aggregation still pulls traffic to
+            # shortest legit paths. Compete on the owned prefix.
             target = alert.owned_prefix
         else:
+            # Origin hijacks and squatting: counter the announcement itself
+            # (for squatting the owner starts announcing the squatted block).
             target = alert.announced_prefix
         if target.length < limit:
             depth = min(

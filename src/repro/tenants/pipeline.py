@@ -9,10 +9,11 @@ pair; with a thousand tenants that per-event fan-out dominates the run.
 2. **classify** — when a batch's worth has accumulated (or on an explicit
    :meth:`flush`), the whole batch drains at once: **one shared-tree walk
    per unique announced prefix per batch**, and one verdict computation per
-   unique ``(prefix, origin, upstream)`` triple — everything else is a memo
-   hit.  BGP feeds are extremely repetitive (a churn flap delivers the same
-   announcement from dozens of vantage points), so the memo converts the
-   per-event classification cost into a per-batch one.
+   unique ``(prefix, as_path)`` pair (plus the vantage for single-hop
+   paths, which the len-1 first-hop rule judges) — everything else is a
+   memo hit.  BGP feeds are extremely repetitive (a churn flap delivers the
+   same announcement from dozens of vantage points), so the memo converts
+   the per-event classification cost into a per-batch one.
 3. **alert** — verdicts feed per-tenant :class:`~repro.core.alerts.AlertManager`
    instances (incidents are keyed *per tenant*: the same offending
    announcement raises one incident for every tenant whose space it hits).
@@ -37,6 +38,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.alerts import AlertManager, AlertType, HijackAlert
+from repro.core.rules import classify_announcement, classify_squat
 from repro.feeds.events import FeedEvent
 from repro.perf import COUNTERS as _COUNTERS
 from repro.tenants.prefixtree import PrefixTree
@@ -72,33 +74,43 @@ class _TenantState:
 
 def classify_batch_verdicts(
     matches: List[Tuple[TenantRule, bool]],
-    origin: Optional[int],
-    upstream: Optional[int],
+    prefix,
+    path: Tuple[int, ...],
+    vantage_asn: Optional[int],
+    probe=None,
 ) -> Tuple[Verdict, ...]:
-    """Pure verdict computation for one (prefix, origin, upstream) triple.
+    """Pure verdict computation for one (prefix, path, vantage) key.
 
-    Mirrors ``DetectionService.classify`` per matched tenant rule: exact
-    match → EXACT_ORIGIN on a bad origin, else the type-1 path check;
-    covering match → SUB_PREFIX on a bad origin (if the tenant opted in),
-    else the same path check against the covering rule.
+    Mirrors ``DetectionService.classify`` per matched tenant rule through
+    the shared :func:`~repro.core.rules.classify_announcement` ladder;
+    squat-space rows go through :func:`~repro.core.rules.classify_squat`.
+    ``probe`` is the optional data-plane corroboration hook — it gates
+    low-confidence verdicts and enables the type-U rule, exactly as in the
+    single-tenant service.
     """
     verdicts: List[Verdict] = []
     for rule, exact in matches:
-        if origin is None:
+        if not path:
             continue
-        if origin not in rule.legit_origins:
-            if exact:
-                verdicts.append((rule, AlertType.EXACT_ORIGIN, origin))
-            elif rule.detect_subprefix:
-                verdicts.append((rule, AlertType.SUB_PREFIX, origin))
-            continue
-        if (
-            rule.detect_path
-            and rule.legit_upstreams is not None
-            and upstream is not None
-            and upstream not in rule.legit_upstreams
-        ):
-            verdicts.append((rule, AlertType.PATH, upstream))
+        if rule.squat_space:
+            verdict = classify_squat(path[-1], rule.legit_origins)
+        else:
+            verdict = classify_announcement(
+                prefix,
+                path,
+                vantage_asn,
+                exact,
+                rule.legit_origins,
+                rule.legit_upstreams,
+                neighbors=rule.neighbors,
+                leak_sentinels=rule.leak_sentinels,
+                detect_subprefix=rule.detect_subprefix,
+                detect_path=rule.detect_path,
+                detect_unchanged_path=rule.detect_unchanged_path,
+                probe=probe,
+            )
+        if verdict is not None:
+            verdicts.append((rule, verdict[0], verdict[1]))
     return tuple(verdicts)
 
 
@@ -113,9 +125,14 @@ class DetectionPlane:
         queue_capacity: int = 8192,
         notifier_capacity: int = 1024,
         notify: Optional[Callable[[str, HijackAlert], None]] = None,
+        corroborator=None,
     ):
         self.registry = registry
         self.tree = tree if tree is not None else PrefixTree(registry)
+        #: Optional data-plane corroboration probe shared by all tenants
+        #: (``probe(prefix) -> bool``); evaluated at most once per memo key
+        #: per batch, so verdicts within a batch stay memo-consistent.
+        self.corroborator = corroborator
         self.batch_size = max(1, int(batch_size))
         self.queue_capacity = max(1, int(queue_capacity))
         self.notifier_capacity = max(1, int(notifier_capacity))
@@ -174,15 +191,24 @@ class DetectionPlane:
                 continue
             self._last_event_time = event.delivered_at
             path = event.as_path
-            upstream = path[-2] if len(path) >= 2 else None
-            memo_key = (event.prefix, path[-1], upstream)
+            # The rule ladder inspects the whole path, so the memo key is
+            # (prefix, path); the vantage only matters for single-hop paths
+            # (the len-1 first-hop rule), so it joins the key only there —
+            # multi-hop repeats across vantage points stay memo hits.
+            if len(path) >= 2:
+                memo_key = (event.prefix, path)
+            else:
+                memo_key = (event.prefix, path, event.vantage_asn)
             verdicts = verdict_memo.get(memo_key)
             if verdicts is None:
                 matches = walks.get(event.prefix)
                 if matches is None:
                     matches = resolve(event.prefix)
                     walks[event.prefix] = matches
-                verdicts = classify_batch_verdicts(matches, path[-1], upstream)
+                verdicts = classify_batch_verdicts(
+                    matches, event.prefix, path, event.vantage_asn,
+                    probe=self.corroborator,
+                )
                 verdict_memo[memo_key] = verdicts
             else:
                 _COUNTERS.pipeline_memo_hits += 1

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.config import ArtemisConfig, OwnedPrefix
+from repro.core.config import ArtemisConfig
 from repro.errors import ConfigError
 from repro.net.prefix import Prefix
 
@@ -32,6 +32,12 @@ class TenantRule:
 
     Immutable and hash-shared: construct only through
     :meth:`TenantRegistry.add_tenant` so interning applies.
+
+    ``squat_space`` rows compile an :class:`~repro.core.config.OwnedSpace`
+    entry — held-but-unannounced space where *any* non-owner origin is
+    squatting; the origin/path rule fields are unused for those rows.
+    ``neighbors`` / ``leak_sentinels`` carry the tenant's hop-N adjacency
+    map and stub sentinels for the type-N and route-leak rules.
     """
 
     __slots__ = (
@@ -43,6 +49,10 @@ class TenantRule:
         "detect_path",
         "cooldown",
         "autoignore_visibility",
+        "neighbors",
+        "leak_sentinels",
+        "detect_unchanged_path",
+        "squat_space",
     )
 
     def __init__(
@@ -55,6 +65,10 @@ class TenantRule:
         detect_path: bool,
         cooldown: float,
         autoignore_visibility: int,
+        neighbors: Optional[Dict[int, FrozenSet[int]]] = None,
+        leak_sentinels: Optional[FrozenSet[int]] = None,
+        detect_unchanged_path: bool = True,
+        squat_space: bool = False,
     ):
         self.tenant = tenant
         self.prefix = prefix
@@ -64,6 +78,10 @@ class TenantRule:
         self.detect_path = detect_path
         self.cooldown = cooldown
         self.autoignore_visibility = autoignore_visibility
+        self.neighbors = neighbors
+        self.leak_sentinels = leak_sentinels
+        self.detect_unchanged_path = detect_unchanged_path
+        self.squat_space = squat_space
 
     def to_row(self) -> Tuple:
         """The plain-tuple wire form (worker-spec transport)."""
@@ -78,6 +96,17 @@ class TenantRule:
             self.detect_path,
             self.cooldown,
             self.autoignore_visibility,
+            None
+            if self.neighbors is None
+            else tuple(
+                (asn, tuple(sorted(peers)))
+                for asn, peers in sorted(self.neighbors.items())
+            ),
+            None
+            if self.leak_sentinels is None
+            else tuple(sorted(self.leak_sentinels)),
+            self.detect_unchanged_path,
+            self.squat_space,
         )
 
     def __repr__(self) -> str:
@@ -93,6 +122,7 @@ class TenantRegistry:
         self._tenants: Dict[str, Tuple[TenantRule, ...]] = {}
         #: Interning tables: identical policy material is stored once.
         self._asn_sets: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        self._adjacency_maps: Dict[Tuple, Dict[int, FrozenSet[int]]] = {}
         self._rules: Dict[Tuple, TenantRule] = {}
         #: Attached prefix trees, notified on tenant add/remove.
         self._trees: List = []
@@ -107,17 +137,29 @@ class TenantRegistry:
         key = frozenset(int(a) for a in asns)
         return self._asn_sets.setdefault(key, key)
 
-    def _intern_rule(self, *fields) -> TenantRule:
-        key = (
-            fields[0],
-            fields[1],
-            fields[2],
-            fields[3],
-            fields[4],
-            fields[5],
-            fields[6],
-            fields[7],
+    def _intern_adjacencies(
+        self, adjacencies: Optional[Dict[int, FrozenSet[int]]]
+    ) -> Optional[Dict[int, FrozenSet[int]]]:
+        """Intern a whole adjacency map: tenants sharing one learned graph
+        (the common deployment: one BGP view feeds everyone) share one dict.
+        """
+        if adjacencies is None:
+            return None
+        key = tuple(
+            (asn, tuple(sorted(peers))) for asn, peers in sorted(adjacencies.items())
         )
+        interned = self._adjacency_maps.get(key)
+        if interned is None:
+            interned = {
+                asn: self._intern_set(peers) for asn, peers in adjacencies.items()
+            }
+            self._adjacency_maps[key] = interned
+        return interned
+
+    def _intern_rule(self, *fields) -> TenantRule:
+        # The adjacency map (index 8) is already interned to a canonical
+        # dict; key it by identity so the rule key stays hashable.
+        key = fields[:8] + (id(fields[8]),) + fields[9:]
         rule = self._rules.get(key)
         if rule is None:
             rule = TenantRule(*fields)
@@ -140,6 +182,8 @@ class TenantRegistry:
         """
         if name in self._tenants:
             raise ConfigError(f"tenant {name!r} already registered")
+        adjacencies = self._intern_adjacencies(config.adjacencies)
+        sentinels = self._intern_set(config.leak_sentinels)
         rows = tuple(
             self._intern_rule(
                 name,
@@ -150,9 +194,31 @@ class TenantRegistry:
                 config.detect_path,
                 config.alert_cooldown,
                 int(autoignore_visibility),
+                adjacencies,
+                sentinels,
+                config.detect_unchanged_path,
+                False,
             )
             for entry in config.owned
         )
+        if config.detect_squatting and config.owned_space:
+            rows += tuple(
+                self._intern_rule(
+                    name,
+                    space.prefix,
+                    self._intern_set(space.legit_origins),
+                    None,
+                    config.detect_subprefix,
+                    config.detect_path,
+                    config.alert_cooldown,
+                    int(autoignore_visibility),
+                    None,
+                    None,
+                    config.detect_unchanged_path,
+                    True,
+                )
+                for space in config.owned_space
+            )
         self._tenants[name] = rows
         for tree in self._trees:
             tree.insert_rules(rows)
@@ -211,23 +277,43 @@ class TenantRegistry:
 
     @classmethod
     def from_spec(cls, rows: Sequence[Tuple]) -> "TenantRegistry":
-        """Rebuild a registry from :meth:`to_spec` rows (re-interns)."""
+        """Rebuild a registry from :meth:`to_spec` rows (re-interns).
+
+        Accepts both the current 12-field rows and the legacy 8-field rows
+        (pre-taxonomy specs carry no adjacency or squat material).  Rows
+        are rebuilt directly — not via :class:`ArtemisConfig` — because a
+        worker partition may hold any subset of a tenant's rows (e.g. only
+        its squat-space row).
+        """
         registry = cls()
         grouped: Dict[str, List[Tuple]] = {}
         for row in rows:
             grouped.setdefault(row[0], []).append(row)
         for name, tenant_rows in grouped.items():
-            first = tenant_rows[0]
-            config = ArtemisConfig(
-                [
-                    OwnedPrefix(row[1], row[2], row[3])
-                    for row in tenant_rows
-                ],
-                detect_subprefix=first[4],
-                detect_path=first[5],
-                alert_cooldown=first[6],
+            compiled = tuple(
+                registry._intern_rule(
+                    name,
+                    Prefix.parse(row[1]),
+                    registry._intern_set(row[2]),
+                    registry._intern_set(row[3]),
+                    row[4],
+                    row[5],
+                    row[6],
+                    int(row[7]),
+                    registry._intern_adjacencies(
+                        None
+                        if len(row) < 12 or row[8] is None
+                        else {asn: frozenset(peers) for asn, peers in row[8]}
+                    ),
+                    registry._intern_set(row[9] if len(row) >= 12 else None),
+                    row[10] if len(row) >= 12 else True,
+                    bool(row[11]) if len(row) >= 12 else False,
+                )
+                for row in tenant_rows
             )
-            registry.add_tenant(name, config, autoignore_visibility=first[7])
+            registry._tenants[name] = compiled
+            for tree in registry._trees:
+                tree.insert_rules(compiled)
         return registry
 
     def __repr__(self) -> str:

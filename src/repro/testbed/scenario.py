@@ -18,11 +18,12 @@ paper's three timings plus per-source and adoption detail.
 from __future__ import annotations
 
 import math
+import re
 import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.artemis import Artemis
-from repro.core.config import ArtemisConfig, OwnedPrefix
+from repro.core.config import ArtemisConfig, OwnedPrefix, OwnedSpace
 from repro.core.mitigation import HelperFleet
 from repro.errors import ExperimentError
 from repro.faults import FaultInjector, FaultPlan, load_plan
@@ -39,7 +40,7 @@ from repro.sim.rng import SeededRNG
 from repro.testbed.peering import PeeringTestbed, VirtualAS
 from repro.topology.cache import load_or_build_graph
 from repro.topology.generator import GeneratorConfig
-from repro.topology.graph import ASGraph
+from repro.topology.graph import ASGraph, Relationship
 
 
 class PathPresenceProbe:
@@ -62,6 +63,75 @@ class PathPresenceProbe:
             # The attacker always "routes via" itself for forged space.
             return bool(route.is_local)
         return self.target_asn in route.as_path
+
+
+class TrackerCorroborator:
+    """Oscilloscope-style data-plane corroboration over an OriginTracker.
+
+    ``probe(prefix) -> bool``: True while at least ``threshold`` of the
+    tracked ASes' data planes resolve every probe to a value in
+    ``healthy_values`` — the simulated stand-in for distributed pings
+    reaching the legitimate infrastructure.  Prefixes outside the
+    tracker's watch report healthy (no evidence of divergence).
+
+    ``healthy_values`` is a *live* set: an operator learning of their own
+    anycast deployment mid-incident can extend it (the MOAS
+    false-positive workflow) without rebuilding the probe.
+    """
+
+    __slots__ = ("tracker", "healthy_values", "threshold")
+
+    def __init__(self, tracker: OriginTracker, healthy_values, threshold: float = 0.95):
+        self.tracker = tracker
+        # Keep the caller's set by reference when given one (the live-set
+        # contract above); only copy other iterables.
+        self.healthy_values = (
+            healthy_values if isinstance(healthy_values, set) else set(healthy_values)
+        )
+        self.threshold = float(threshold)
+
+    def __call__(self, prefix) -> bool:
+        if not prefix.overlaps(self.tracker.watch):
+            return True
+        fraction = self.tracker.fraction_routing_to(self.healthy_values, mode="all")
+        return fraction >= self.threshold
+
+    def __repr__(self) -> str:
+        return (
+            f"TrackerCorroborator({self.tracker.watch} "
+            f"healthy={sorted(map(str, self.healthy_values))} "
+            f"threshold={self.threshold})"
+        )
+
+
+_HIJACK_TYPE_RE = re.compile(r"type-(\d+)")
+
+
+def _parse_hijack_type(
+    raw: Optional[str], forge_origin: bool
+) -> Tuple[str, Optional[int]]:
+    """Canonicalize a ``hijack_type`` → ``(name, forge_depth)``.
+
+    ``forge_depth`` is N for ``type-N`` announcements (0 = plain origin
+    hijack) and ``None`` for the classes that are not a fixed-depth path
+    forgery (type-U, squatting, route-leak).  ``None`` input keeps the
+    historical knob: ``forge_origin`` selects type-1 over type-0.
+    """
+    if raw is None:
+        return ("type-1", 1) if forge_origin else ("type-0", 0)
+    text = str(raw).strip().lower()
+    if text == "type-u":
+        return "type-U", None
+    if text in ("squatting", "route-leak"):
+        return text, None
+    match = _HIJACK_TYPE_RE.fullmatch(text)
+    if match is not None:
+        depth = int(match.group(1))
+        return f"type-{depth}", depth
+    raise ExperimentError(
+        f"unknown hijack_type {raw!r}: expected type-<N>, type-U, "
+        "squatting, or route-leak"
+    )
 
 
 class ScenarioConfig:
@@ -102,17 +172,54 @@ class ScenarioConfig:
         checkpoint=None,
         record_trace: Optional[str] = None,
         cache_dir: Optional[str] = None,
+        hijack_type: Optional[str] = None,
+        corroborate: Optional[bool] = None,
+        corroborate_threshold: float = 0.95,
     ):
         self.prefix = Prefix.parse(prefix)
-        #: What the hijacker announces; defaults to the owned prefix itself
-        #: (exact hijack).  Set a more-specific for a sub-prefix hijack.
-        self.hijack_prefix = (
-            Prefix.parse(hijack_prefix) if hijack_prefix is not None else self.prefix
+        #: Which taxonomy class the attacker plays: ``type-0`` (origin),
+        #: ``type-N`` (forged path N hops from the origin), ``type-U``
+        #: (full real path, data-plane-only), ``squatting`` (originating
+        #: owned-but-unannounced space), or ``route-leak`` (a real
+        #: multihomed stub re-exporting the victim's route).  ``None``
+        #: keeps the historical behaviour: type-1 when ``forge_origin``
+        #: else type-0, with the pre-taxonomy detection config.
+        self.hijack_type, self.forge_depth = _parse_hijack_type(
+            hijack_type, forge_origin
         )
-        if not self.prefix.contains(self.hijack_prefix):
-            raise ExperimentError(
-                f"hijack prefix {self.hijack_prefix} outside owned {self.prefix}"
+        #: Explicitly requested types get the full taxonomy detection
+        #: config (upstreams, adjacencies, sentinels); legacy scenarios
+        #: keep their original config bit-identically.
+        self.explicit_type = hijack_type is not None
+        #: Owned-but-unannounced space the squatter targets; only set for
+        #: squatting scenarios (the parent supernet of the owned prefix,
+        #: with the unannounced sibling half as the squat target).
+        self.squat_space: Optional[Prefix] = None
+        if self.hijack_type == "squatting":
+            if self.prefix.length < 1:
+                raise ExperimentError(
+                    f"cannot derive squat space around {self.prefix}"
+                )
+            space = self.prefix.supernet(self.prefix.length - 1)
+            low, high = space.split()
+            self.squat_space = space
+            #: The squatter announces the sibling half the owner holds
+            #: but never announces (any user-supplied hijack_prefix is
+            #: ignored — squatting is defined by the space layout).
+            self.hijack_prefix = high if low == self.prefix else low
+        else:
+            #: What the hijacker announces; defaults to the owned prefix
+            #: itself (exact hijack).  Set a more-specific for a
+            #: sub-prefix hijack.
+            self.hijack_prefix = (
+                Prefix.parse(hijack_prefix)
+                if hijack_prefix is not None
+                else self.prefix
             )
+            if not self.prefix.contains(self.hijack_prefix):
+                raise ExperimentError(
+                    f"hijack prefix {self.hijack_prefix} outside owned {self.prefix}"
+                )
         self.seed = int(seed)
         self.topology = topology or GeneratorConfig()
         self.graph = graph
@@ -142,9 +249,13 @@ class ScenarioConfig:
         #: de-aggregation halves; raise it when the hijacker announces a
         #: deeper more-specific, e.g. 2 for a /24 inside a /22).
         self.probe_depth = int(probe_depth)
-        #: Type-1 hijack: the hijacker forges ``[hijacker, victim]`` paths
-        #: so origin checks pass and only path validation catches it.
-        self.forge_origin = bool(forge_origin)
+        #: Derived compatibility flag: True for the classes where the
+        #: *hijacker* forges a path ending at the victim (type-N with
+        #: N ≥ 1, and type-U) so origin checks pass.  Route leaks forge
+        #: too, but through a third-party leaker AS.
+        self.forge_origin = self.hijack_type == "type-U" or (
+            self.forge_depth is not None and self.forge_depth >= 1
+        )
         #: Outsourced-mitigation helper ASes (tier-1s with an agreement),
         #: engaged when the victim alone cannot fully recover.
         self.num_helpers = int(num_helpers)
@@ -226,6 +337,28 @@ class ScenarioConfig:
         #: graph per world seed; with a cache directory the first builder
         #: persists it and everyone else loads.  ``None`` disables caching.
         self.cache_dir = cache_dir
+        #: Attach the data-plane corroboration probe (Oscilloscope-style)
+        #: at the hijack instant.  Defaults to on for type-U — the only
+        #: class with *no* control-plane signature — and off otherwise.
+        self.corroborate = (
+            self.hijack_type == "type-U" if corroborate is None else bool(corroborate)
+        )
+        if not 0.0 < float(corroborate_threshold) <= 1.0:
+            raise ExperimentError("corroborate_threshold must be in (0, 1]")
+        #: Healthy-fraction cut-off for the corroborator: the prefix's
+        #: data plane counts as healthy while at least this fraction of
+        #: tracked ASes still reaches legitimate infrastructure.
+        self.corroborate_threshold = float(corroborate_threshold)
+
+    @property
+    def path_family(self) -> bool:
+        """True for classes whose announcements keep the legitimate origin
+        (type-N with N ≥ 1, type-U, route-leak) — the ones needing path
+        rules (upstreams / adjacencies / sentinels) to detect."""
+        return (
+            self.hijack_type in ("type-U", "route-leak")
+            or (self.forge_depth is not None and self.forge_depth >= 1)
+        )
 
 
 class ExperimentResult:
@@ -341,9 +474,18 @@ class HijackExperiment:
         self.injector: Optional[FaultInjector] = None
         self.recorder: Optional[TraceRecorder] = None
         self.tracker: Optional[OriginTracker] = None
-        #: Only for forged-origin runs: tracks hijacker-on-path instead of
-        #: origin (the origin never changes in a type-1 hijack).
+        #: Only for forged-path runs (type-N/type-U/route-leak): tracks
+        #: offender-on-path instead of origin (the origin never changes).
         self.path_tracker: Optional[OriginTracker] = None
+        #: Only for squatting runs: tracks the squatted sibling block,
+        #: which lies outside the main tracker's watch.
+        self.squat_tracker: Optional[OriginTracker] = None
+        #: Only for route-leak runs: the real multihomed stub that leaks.
+        self.leaker_asn: Optional[int] = None
+        #: Built at setup when ``corroborate`` is on; attached to the
+        #: detection service at the hijack instant (phase 1's legitimate
+        #: convergence churn must not feed the probe).
+        self.corroborator: Optional[TrackerCorroborator] = None
         self.churn: Optional[BackgroundChurn] = None
         #: Host wall-clock seconds spent building/simulating each phase —
         #: the single source of truth; copied into the result once at build.
@@ -384,6 +526,8 @@ class HijackExperiment:
         )
         self.victim = self.testbed.create_virtual_as(victim_sites)
         self.hijacker = self.testbed.create_virtual_as(hijacker_sites)
+        if cfg.hijack_type == "route-leak":
+            self.leaker_asn = self._pick_leaker()
         if cfg.rov_adoption > 0.0:
             # Publish the victim's ROA, authorising the prefix and its
             # de-aggregated more-specifics down to the filtering limit.
@@ -406,6 +550,13 @@ class HijackExperiment:
             cfg.probe_depth, cfg.hijack_prefix.length - cfg.prefix.length
         )
         self.tracker = OriginTracker(self.network, cfg.prefix, probe_depth=probe_depth)
+        if cfg.squat_space is not None:
+            # The squatted sibling lies outside the main tracker's watch;
+            # its recovery (the owner announcing the block post-alert) is
+            # judged by a dedicated tracker.
+            self.squat_tracker = OriginTracker(
+                self.network, cfg.hijack_prefix, probe_depth=cfg.probe_depth
+            )
         self.monitors = deploy_monitors(self.network, seed=wseed, **cfg.monitors)
         if cfg.churn is not None:
             self.churn = BackgroundChurn(self.network, cfg.churn, seed=wseed)
@@ -434,16 +585,35 @@ class HijackExperiment:
         # Helpers announce by agreement → whitelist them as origins.  For
         # forged-path experiments, the victim's transit sites are the only
         # legitimate first hops (enables type-1 / PATH detection).
+        legit_upstreams = set(self.victim.sites) if cfg.forge_origin else None
+        adjacencies = None
+        leak_sentinels = None
+        owned_space: List[OwnedSpace] = []
+        if cfg.explicit_type and cfg.path_family:
+            # The taxonomy config: the full learned AS-adjacency map
+            # (built *after* the virtual ASes joined the graph, so the
+            # victim's genuine links are known) enables the hop-N rule,
+            # and for route leaks the known-stub sentinels enable the
+            # stub-in-transit rule.
+            legit_upstreams = set(self.victim.sites)
+            adjacencies = self._graph_adjacencies()
+            if cfg.hijack_type == "route-leak":
+                leak_sentinels = self._stub_sentinels()
+        if cfg.squat_space is not None:
+            owned_space = [
+                OwnedSpace(cfg.squat_space, {self.victim.asn, *helper_asns})
+            ]
         artemis_config = ArtemisConfig(
             owned=[
                 OwnedPrefix(
                     cfg.prefix,
                     {self.victim.asn, *helper_asns},
-                    legit_upstreams=(
-                        set(self.victim.sites) if cfg.forge_origin else None
-                    ),
+                    legit_upstreams=legit_upstreams,
                 )
             ],
+            owned_space=owned_space,
+            adjacencies=adjacencies,
+            leak_sentinels=leak_sentinels,
             auto_mitigate=cfg.auto_mitigate,
             deaggregation_levels=cfg.deaggregation_levels,
             max_announce_length_v4=cfg.max_announce_length_v4,
@@ -481,13 +651,38 @@ class HijackExperiment:
             self.injector = FaultInjector(
                 self.network, self.monitors, cfg.faults, seed=cfg.seed
             )
-        if cfg.forge_origin:
+        if cfg.forge_origin or cfg.hijack_type == "route-leak":
+            # Forged-path classes keep the legitimate origin, so ground
+            # truth is offender-on-path: the hijacker for type-N/type-U,
+            # the leaking stub for route leaks.
+            offender = (
+                self.leaker_asn
+                if cfg.hijack_type == "route-leak"
+                else self.hijacker.asn
+            )
             self.path_tracker = OriginTracker(
                 self.network,
                 cfg.prefix,
                 probe_depth=probe_depth,
-                value_fn=PathPresenceProbe(self.hijacker.asn),
+                value_fn=PathPresenceProbe(offender),
             )
+        if cfg.corroborate:
+            if self.path_tracker is not None:
+                # Healthy = no tracked AS's data plane goes via the
+                # offender (a MitM attacker blackholes what it attracts).
+                self.corroborator = TrackerCorroborator(
+                    self.path_tracker,
+                    {False},
+                    threshold=cfg.corroborate_threshold,
+                )
+            else:
+                # Healthy = traffic still reaches operator infrastructure
+                # (the victim or a whitelisted helper origin).
+                self.corroborator = TrackerCorroborator(
+                    self.tracker,
+                    {self.victim.asn, *helper_asns},
+                    threshold=cfg.corroborate_threshold,
+                )
         self._setup_done = True
         self.phase_walls["setup"] = time.perf_counter() - wall_start
 
@@ -510,6 +705,130 @@ class HijackExperiment:
             candidates, key=lambda a: (graph.node(a).tier, -graph.degree(a), a)
         )
         return sorted(ranked[:count])
+
+    def _graph_adjacencies(self) -> Dict[int, frozenset]:
+        """The full AS-adjacency map, virtual ASes included.
+
+        This is the detector's "learned" view of which links exist; the
+        hop-N rule flags path pairs that are not in it.  Built after the
+        testbed grafts the virtual ASes so the victim's genuine transit
+        links are known (otherwise its own announcements would look
+        forged).
+        """
+        graph = self.network.graph
+        return {
+            asn: frozenset(neighbor for neighbor, _rel in graph.neighbors(asn))
+            for asn in graph.asns()
+        }
+
+    def _stub_sentinels(self) -> List[int]:
+        """Real stub ASes (leak sentinels): a stub in a transit position
+        is definitionally a route leak.  Testbed-attached virtual ASes
+        are excluded — they are the experiment's own apparatus."""
+        graph = self.network.graph
+        return sorted(
+            node.asn
+            for node in graph.nodes()
+            if node.tier == 3 and "attached" not in node.tags
+        )
+
+    def _customer_cone(self, root: int) -> set:
+        """All ASes reachable from ``root`` by walking customer edges
+        (BGP routes learned from inside this cone are customer routes)."""
+        graph = self.network.graph
+        seen = {root}
+        stack = [root]
+        while stack:
+            asn = stack.pop()
+            for neighbor, rel in graph.neighbors(asn):
+                if rel is Relationship.CUSTOMER and neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return seen
+
+    def _pick_leaker(self) -> int:
+        """The leaking AS for a route-leak scenario: a real multihomed
+        stub (≥ 2 providers — it learns the victim's route from one and
+        leaks it to the others, which prefer the customer route and
+        spread it).
+
+        Gao-Rexford preference means the leak only attracts traffic at a
+        provider whose existing route to the victim is *not* customer-
+        learned, so prefer (deterministically: lowest ASN) a stub with at
+        least one provider outside the victim's customer-routed region.
+        """
+        graph = self.network.graph
+        victim_asn = self.victim.asn
+        cones: Dict[int, set] = {}
+        fallback: Optional[int] = None
+        for node in sorted(graph.nodes(), key=lambda n: n.asn):
+            if node.tier != 3 or "attached" in node.tags:
+                continue
+            providers = [
+                neighbor
+                for neighbor, rel in graph.neighbors(node.asn)
+                if rel is Relationship.PROVIDER
+            ]
+            if len(providers) < 2:
+                continue
+            if fallback is None:
+                fallback = node.asn
+            for provider in providers:
+                cone = cones.get(provider)
+                if cone is None:
+                    cone = cones[provider] = self._customer_cone(provider)
+                if victim_asn not in cone:
+                    return node.asn
+        if fallback is None:
+            raise ExperimentError(
+                "route-leak scenario needs a real multihomed stub AS"
+            )
+        return fallback
+
+    def _forged_suffix(self) -> Tuple[int, ...]:
+        """The AS-path tail the hijacker forges for type-N / type-U.
+
+        Type-N claims the last N hops of the hijacker's *real* route to
+        the prefix (N=1 → ``(victim,)``, the classic type-1); type-U
+        claims the full real path, leaving no control-plane signature.
+        """
+        cfg = self.config
+        if cfg.forge_depth == 1:
+            return (self.victim.asn,)
+        route = self.hijacker.speaker.resolve(cfg.hijack_prefix)
+        if route is None or not route.as_path:
+            raise ExperimentError(
+                f"hijacker AS{self.hijacker.asn} has no real route to "
+                f"{cfg.hijack_prefix} to forge from"
+            )
+        path = tuple(route.as_path)
+        if cfg.hijack_type == "type-U":
+            # The forged path must be link-for-link real, so it starts at
+            # one of the hijacker's own providers — which then drops the
+            # export by loop detection.  Route the forgery through the
+            # site whose real path avoids the *other* sites, so the
+            # remaining export edges stay viable.
+            sites = list(self.hijacker.sites)
+            for site in sites:
+                site_route = self.network.speaker(site).resolve(
+                    cfg.hijack_prefix
+                )
+                if site_route is None or not site_route.as_path:
+                    continue
+                candidate = (site,) + tuple(site_route.as_path)
+                if all(
+                    other == site or other not in candidate
+                    for other in sites
+                ):
+                    return candidate
+            return path
+        if cfg.forge_depth >= len(path):
+            raise ExperimentError(
+                f"{cfg.hijack_type} needs a forged tail shorter than the "
+                f"hijacker's real {len(path)}-hop path {path}; use type-U "
+                "for a full-path forgery"
+            )
+        return path[-cfg.forge_depth:]
 
     # ----------------------------------------------------------------- helpers
 
@@ -612,6 +931,9 @@ class HijackExperiment:
         self.supervisor = fork.supervisor
         self.tracker = fork.tracker
         self.path_tracker = fork.path_tracker
+        self.squat_tracker = fork.squat_tracker
+        self.leaker_asn = fork.leaker_asn
+        self.corroborator = fork.corroborator
         self.churn = fork.churn
         if cfg.faults is not None:
             self.injector = FaultInjector(
@@ -693,7 +1015,7 @@ class HijackExperiment:
                 )
                 self.recorder.attach_all(
                     self.artemis.sources,
-                    prefixes=self.artemis.config.owned_prefixes,
+                    prefixes=self.artemis.config.monitored_prefixes,
                 )
             self.run_phase1()
         network, engine = self.network, self.network.engine
@@ -714,10 +1036,29 @@ class HijackExperiment:
             # at=0 faults an earlier event sequence than the announcement,
             # so "dead from the very start" means exactly that.
             self.injector.arm(hijack_time)
-        if cfg.forge_origin:
-            # Type-1 attack: claim direct adjacency to the victim's origin.
-            self.hijacker.announce_forged(cfg.hijack_prefix, (self.victim.asn,))
+        if self.corroborator is not None:
+            # Attached only now: phase 1's legitimate convergence churn is
+            # exactly the "data plane in flux" state the probe flags.
+            self.artemis.detection.attach_corroborator(self.corroborator)
+        if cfg.hijack_type == "route-leak":
+            # A real multihomed stub re-exports its learned route to all
+            # its providers; they prefer the customer route and spread it.
+            leaker = self.network.speaker(self.leaker_asn)
+            route = leaker.resolve(cfg.hijack_prefix)
+            if route is None or not route.as_path:
+                raise ExperimentError(
+                    f"leaker AS{self.leaker_asn} has no route to leak for "
+                    f"{cfg.hijack_prefix}"
+                )
+            leaker.originate_forged(cfg.hijack_prefix, tuple(route.as_path))
+            result.hijacker_asn = self.leaker_asn
+        elif cfg.forge_origin:
+            # Type-N (N ≥ 1) / type-U: forge a path tail ending at the
+            # victim so origin checks pass.
+            self.hijacker.announce_forged(cfg.hijack_prefix, self._forged_suffix())
         else:
+            # Type-0 origin hijack — or squatting, where the "hijack
+            # prefix" is the owned-but-unannounced sibling block.
             self.hijacker.announce(cfg.hijack_prefix)
         detected = self._run_until(
             lambda: bool(self.artemis.alerts), cfg.detection_timeout
@@ -738,12 +1079,23 @@ class HijackExperiment:
         wall_mark = now_wall
 
         # Phase-3: mitigation (already triggered by the alert callback when
-        # auto-mitigation is on) and recovery.  For forged-origin (type-1)
-        # hijacks the origin never changes, so recovery is judged by the
-        # path tracker instead: every AS's path must avoid the hijacker.
-        forged = cfg.forge_origin and self.path_tracker is not None
-        completion_tracker = self.path_tracker if forged else self.tracker
-        accepted = {False} if forged else {self.victim.asn}
+        # auto-mitigation is on) and recovery.  For forged-path classes
+        # (type-N/type-U/route-leak) the origin never changes, so recovery
+        # is judged by the path tracker instead: every AS's path must
+        # avoid the offender.  For squatting, recovery is the owner taking
+        # over the squatted block (judged by the squat tracker).
+        forged = self.path_tracker is not None and (
+            cfg.forge_origin or cfg.hijack_type == "route-leak"
+        )
+        if cfg.hijack_type == "squatting" and self.squat_tracker is not None:
+            completion_tracker = self.squat_tracker
+            accepted = {self.victim.asn}
+        elif forged:
+            completion_tracker = self.path_tracker
+            accepted = {False}
+        else:
+            completion_tracker = self.tracker
+            accepted = {self.victim.asn}
         helpers = self.artemis.mitigation.helpers
         if not forged and helpers is not None:
             # Helper-origin routes deliver traffic to the victim by tunnel.
@@ -788,7 +1140,7 @@ class HijackExperiment:
         # an AS counts as affected when any probe routes to (or via, for
         # forged paths) the hijacker — a sub-prefix hijack steals only part
         # of the owned space.
-        adoption_accepted = {True} if forged else {self.hijacker.asn}
+        adoption_accepted = {True} if forged else {result.hijacker_asn}
         hijacker_series = completion_tracker.fraction_series(
             adoption_accepted, start_time=hijack_time, mode="any"
         )

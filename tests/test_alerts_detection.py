@@ -157,10 +157,30 @@ class TestClassification:
         service = DetectionService(make_config())
         assert service.classify(event(path=(3, 666, 64500))) is None
 
-    def test_origin_only_path_no_path_check(self):
+    def test_single_hop_forged_announcement_flags_vantage(self):
+        # Regression for the len-1 bypass: a path of length 1 means the
+        # reporting vantage claims direct adjacency to the origin, so the
+        # vantage itself is the first hop.  Vantage 3 is not a configured
+        # upstream → PATH alert with the vantage as offender.
         config = make_config(owned_kw={"legit_upstreams": {10}})
         service = DetectionService(config)
-        # Path of length 1: the origin announces directly to the vantage.
+        verdict = service.classify(event(path=(64500,)))
+        assert verdict == (AlertType.PATH, P("10.0.0.0/23"), 3)
+
+    def test_single_hop_from_legit_upstream_passes(self):
+        config = make_config(owned_kw={"legit_upstreams": {3, 10}})
+        service = DetectionService(config)
+        assert service.classify(event(path=(64500,))) is None
+
+    def test_single_hop_from_origin_itself_passes(self):
+        # The origin's own session to the collector: vantage == origin.
+        config = make_config(owned_kw={"legit_upstreams": {10}})
+        service = DetectionService(config)
+        assert service.classify(event(vantage=64500, path=(64500,))) is None
+
+    def test_single_hop_without_upstream_config_passes(self):
+        # No legit_upstreams configured → path checking stays off.
+        service = DetectionService(make_config())
         assert service.classify(event(path=(64500,))) is None
 
 

@@ -1,0 +1,110 @@
+"""Property test: single-tenant and multi-tenant verdicts never drift.
+
+Both planes classify through the shared
+:func:`repro.core.rules.classify_announcement` ladder, but each wraps it
+in its own rule-selection machinery (``ArtemisConfig`` tries vs the
+tenant ``PrefixTree``).  This test drives both with the same randomized
+announcements — prefixes inside/outside/astride the owned space, paths
+over legit and bogus ASNs, every corroboration state — and requires
+byte-identical verdicts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ArtemisConfig, OwnedPrefix, OwnedSpace
+from repro.core.detection import DetectionService
+from repro.feeds.events import FeedEvent
+from repro.net.prefix import Prefix
+from repro.tenants.pipeline import classify_batch_verdicts
+from repro.tenants.prefixtree import PrefixTree
+from repro.tenants.registry import TenantRegistry
+
+ADJACENCIES = {
+    65001: {65010},
+    65010: {65001, 100},
+    100: {65010, 200},
+    200: {100},
+}
+
+
+def build_config() -> ArtemisConfig:
+    return ArtemisConfig(
+        owned=[
+            OwnedPrefix("10.0.0.0/23", {65001}, {65010}),
+            OwnedPrefix("10.0.4.0/24", {65002}),
+        ],
+        owned_space=[OwnedSpace(Prefix.parse("10.0.0.0/21"), {65001})],
+        adjacencies=ADJACENCIES,
+        leak_sentinels={64999},
+        auto_mitigate=False,
+    )
+
+
+CONFIG = build_config()
+REGISTRY = TenantRegistry()
+REGISTRY.add_tenant("t0", build_config())
+TREE = PrefixTree(REGISTRY)
+
+#: Mix of exact owned, nested, sibling-in-space, space-exact and foreign.
+PREFIXES = [
+    "10.0.0.0/23",
+    "10.0.0.0/24",
+    "10.0.1.0/24",
+    "10.0.2.0/24",
+    "10.0.4.0/24",
+    "10.0.4.0/25",
+    "10.0.6.0/24",
+    "10.0.0.0/21",
+    "11.0.0.0/24",
+]
+
+#: Legit origins/upstreams, known transit, the leak sentinel, strangers.
+ASNS = [65001, 65002, 65010, 64999, 100, 200, 666]
+
+PROBES = {"none": None, "healthy": lambda p: True, "unhealthy": lambda p: False}
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    prefix=st.sampled_from(PREFIXES),
+    path=st.lists(st.sampled_from(ASNS), min_size=1, max_size=5),
+    vantage=st.sampled_from(ASNS + [1]),
+    probe_kind=st.sampled_from(sorted(PROBES)),
+)
+def test_single_tenant_and_plane_verdicts_identical(
+    prefix, path, vantage, probe_kind
+):
+    probe = PROBES[probe_kind]
+    event = FeedEvent(
+        source="ris",
+        collector="rrc00",
+        vantage_asn=vantage,
+        kind="A",
+        prefix=Prefix.parse(prefix),
+        as_path=path,
+        observed_at=1.0,
+        delivered_at=2.0,
+    )
+    service = DetectionService(CONFIG)
+    service.attach_corroborator(probe)
+    single = service.classify(event)
+
+    matches = TREE.resolve(event.prefix)
+    plane = classify_batch_verdicts(
+        matches, event.prefix, event.as_path, event.vantage_asn, probe=probe
+    )
+
+    if single is None:
+        assert plane == ()
+    else:
+        alert_type, owned_prefix, offender = single
+        assert len(plane) == 1
+        rule, plane_type, plane_offender = plane[0]
+        assert (plane_type, rule.prefix, plane_offender) == (
+            alert_type,
+            owned_prefix,
+            offender,
+        )

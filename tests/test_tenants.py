@@ -232,15 +232,16 @@ class TestClassifyBatchVerdicts:
     def test_mirrors_engine_classification(self):
         registry = two_tenant_registry()
         tree = PrefixTree(registry)
-        matches = tree.resolve(Prefix.parse("10.0.0.0/24"))
-        verdicts = classify_batch_verdicts(matches, origin=666, upstream=7)
+        prefix = Prefix.parse("10.0.0.0/24")
+        matches = tree.resolve(prefix)
+        verdicts = classify_batch_verdicts(matches, prefix, (3, 7, 666), 3)
         assert [(r.tenant, t) for r, t, _ in verdicts] == [
             ("acme", AlertType.SUB_PREFIX),
             ("beta", AlertType.EXACT_ORIGIN),
         ]
         # Legit origin for beta, sub-prefix for acme; acme's path rule does
         # not apply to the covering match with a foreign origin.
-        verdicts = classify_batch_verdicts(matches, origin=65002, upstream=7)
+        verdicts = classify_batch_verdicts(matches, prefix, (3, 7, 65002), 3)
         assert [(r.tenant, t, o) for r, t, o in verdicts] == [
             ("acme", AlertType.SUB_PREFIX, 65002)
         ]
@@ -248,12 +249,15 @@ class TestClassifyBatchVerdicts:
     def test_path_check_on_exact_match(self):
         registry = two_tenant_registry()
         tree = PrefixTree(registry)
-        matches = tree.resolve(Prefix.parse("10.0.0.0/23"))
-        verdicts = classify_batch_verdicts(matches, origin=65001, upstream=9)
+        prefix = Prefix.parse("10.0.0.0/23")
+        matches = tree.resolve(prefix)
+        verdicts = classify_batch_verdicts(matches, prefix, (3, 9, 65001), 3)
         assert [(r.tenant, t, o) for r, t, o in verdicts] == [
             ("acme", AlertType.PATH, 9)
         ]
-        assert classify_batch_verdicts(matches, origin=65001, upstream=64600) == ()
+        assert (
+            classify_batch_verdicts(matches, prefix, (3, 64600, 65001), 3) == ()
+        )
 
 
 # ----------------------------------------------------------------- pipeline
