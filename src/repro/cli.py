@@ -721,7 +721,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="M",
         help="total monitored prefixes for --synth-tenants "
-        "(default: 100 per tenant)",
+        "(default: 100 per tenant; the flat-array tree holds million-scale "
+        "populations, e.g. --synth-tenants 10000 --synth-prefixes 1000000)",
     )
     replay.add_argument(
         "--detect-workers",

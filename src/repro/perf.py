@@ -29,6 +29,10 @@ What the counters capture:
   forcing an inline drain), notifier emissions/drops, autoignore
   suppressions, and the ``--detect-workers`` routing/batch counters, plus
   queue-depth peak gauges and the bounded detection-state entry gauge;
+* **million-prefix tenant plane** — cross-batch verdict-cache hits and
+  evictions, binary frames shipped to detection workers (count and
+  bytes), malformed trace lines dropped by the parent-side router, and
+  the flat-array tree's resident-byte gauge (``tree_bytes``);
 * **memory gauges** — peak RSS, intern-table populations and serialized
   checkpoint size, sampled with :func:`sample_memory` rather than bumped.
 
@@ -95,6 +99,13 @@ FIELDS: Tuple[str, ...] = (
     "autoignore_suppressed",
     "detect_events_routed",
     "detect_worker_batches",
+    # million-prefix tenant plane (flat-array tree, cross-batch verdict
+    # cache, and the zero-pickle binary frame transport)
+    "verdict_cache_hits",
+    "verdict_cache_evictions",
+    "frames_sent",
+    "frames_bytes",
+    "events_malformed",
 )
 
 #: Gauge fields: sampled point-in-time values, merged with ``max`` instead
@@ -109,6 +120,7 @@ GAUGES: Tuple[str, ...] = (
     "pipeline_queue_depth_peak",
     "notifier_queue_depth_peak",
     "detection_state_entries",
+    "tree_bytes",
 )
 
 

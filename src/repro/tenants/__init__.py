@@ -8,9 +8,15 @@ shared feed.  The package splits into:
 * :mod:`repro.tenants.prefixtree` — the shared radix tree answering
   "whose rules match this announcement?" in one O(bits) walk
   (:class:`PrefixTree`);
+* :mod:`repro.tenants.flattree` — the same tree on a flat array-of-struct
+  layout (:class:`FlatPrefixTree`, the pipeline default): packed int32
+  node/row columns and epoch-stamped free lists hold million-prefix
+  populations at a fraction of the node-object RSS;
 * :mod:`repro.tenants.pipeline` — the batched ingest → classify → alert →
-  notify pipeline (:class:`DetectionPlane`) and the canonical merged
-  alert digest;
+  notify pipeline (:class:`DetectionPlane`), its bounded cross-batch
+  verdict cache, and the canonical merged alert digest;
+* :mod:`repro.tenants.frames` — the zero-pickle binary frame transport
+  between the parent router and detection workers;
 * :mod:`repro.tenants.workers` — the ``--detect-workers N`` prefix-space
   partitioning across forked worker processes
   (:class:`ParallelDetectionPlane`);
@@ -18,6 +24,7 @@ shared feed.  The package splits into:
   for the at-scale benches.
 """
 
+from repro.tenants.flattree import FlatPrefixTree
 from repro.tenants.pipeline import (
     DetectionPlane,
     incident_rows,
@@ -29,6 +36,7 @@ from repro.tenants.workers import ParallelDetectionPlane, TenantWorkerError
 
 __all__ = [
     "DetectionPlane",
+    "FlatPrefixTree",
     "ParallelDetectionPlane",
     "PrefixTree",
     "TenantRegistry",

@@ -11,9 +11,16 @@ pair; with a thousand tenants that per-event fan-out dominates the run.
    per unique announced prefix per batch**, and one verdict computation per
    unique ``(prefix, as_path)`` pair (plus the vantage for single-hop
    paths, which the len-1 first-hop rule judges) — everything else is a
-   memo hit.  BGP feeds are extremely repetitive (a churn flap delivers the
-   same announcement from dozens of vantage points), so the memo converts
-   the per-event classification cost into a per-batch one.
+   cache hit.  BGP feeds are extremely repetitive (a churn flap delivers
+   the same announcement from dozens of vantage points), and repetitive
+   *across* batches too, so the verdict cache is **cross-batch**: a
+   bounded FIFO dict keyed on ``(prefix.ikey, path[, vantage])`` that
+   survives from one drain to the next and is invalidated wholesale when
+   the tree's epoch moves (a tenant onboarded or retired).  A steady-state
+   feed converges to zero tree walks and zero rule-ladder runs per batch.
+   With a data-plane ``corroborator`` probe attached the cache reverts to
+   per-batch lifetime (cleared after every drain), because a probe's
+   answer is time-dependent and may legitimately differ between batches.
 3. **alert** — verdicts feed per-tenant :class:`~repro.core.alerts.AlertManager`
    instances (incidents are keyed *per tenant*: the same offending
    announcement raises one incident for every tenant whose space it hits).
@@ -39,9 +46,9 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.alerts import AlertManager, AlertType, HijackAlert
 from repro.core.rules import classify_announcement, classify_squat
-from repro.feeds.events import FeedEvent
+from repro.feeds.events import ANNOUNCE, FeedEvent
 from repro.perf import COUNTERS as _COUNTERS
-from repro.tenants.prefixtree import PrefixTree
+from repro.tenants.flattree import FlatPrefixTree
 from repro.tenants.registry import TenantRegistry, TenantRule
 
 #: Events between opportunistic per-tenant state prune sweeps.
@@ -120,21 +127,33 @@ class DetectionPlane:
     def __init__(
         self,
         registry: TenantRegistry,
-        tree: Optional[PrefixTree] = None,
+        tree=None,
         batch_size: int = 256,
         queue_capacity: int = 8192,
         notifier_capacity: int = 1024,
         notify: Optional[Callable[[str, HijackAlert], None]] = None,
         corroborator=None,
+        verdict_cache_size: int = 65536,
     ):
         self.registry = registry
-        self.tree = tree if tree is not None else PrefixTree(registry)
+        #: ``tree`` accepts anything with the ``PrefixTree`` surface; the
+        #: default is the flat array-of-struct tree, which holds resolve
+        #: parity (property-tested) at a fraction of the per-prefix RSS.
+        self.tree = tree if tree is not None else FlatPrefixTree(registry)
         #: Optional data-plane corroboration probe shared by all tenants
         #: (``probe(prefix) -> bool``); evaluated at most once per memo key
         #: per batch, so verdicts within a batch stay memo-consistent.
         self.corroborator = corroborator
         self.batch_size = max(1, int(batch_size))
+        #: Bound on the cross-batch verdict cache (oldest-inserted entries
+        #: evicted beyond it, counted in ``verdict_cache_evictions``).
+        self.verdict_cache_size = max(1, int(verdict_cache_size))
+        self._verdict_cache: Dict[Tuple, Tuple[Verdict, ...]] = {}
+        self._cache_epoch = self.tree.epoch
         self.queue_capacity = max(1, int(queue_capacity))
+        #: The depth at which ingest must drain: the batch boundary, or the
+        #: queue bound if that is smaller (the backpressure configuration).
+        self._drain_depth = min(self.batch_size, self.queue_capacity)
         self.notifier_capacity = max(1, int(notifier_capacity))
         self._queue: Deque[FeedEvent] = deque()
         self._notifications: Deque[Tuple[str, HijackAlert]] = deque()
@@ -152,21 +171,25 @@ class DetectionPlane:
     # ---------------------------------------------------------------- ingest
 
     def ingest(self, event: FeedEvent) -> None:
-        """Stage one event; drains automatically at a batch boundary."""
+        """Stage one event; drains automatically at a batch boundary.
+
+        Per-event work here is the floor of the whole plane's throughput,
+        so the off-boundary path is one append, one counter, and one
+        compare.  The queue only grows between drains, so its depth peaks
+        exactly when a drain triggers — the peak gauge is maintained in
+        :meth:`_drain`, not per event.
+        """
         queue = self._queue
         queue.append(event)
         self.events_ingested += 1
         _COUNTERS.pipeline_events_ingested += 1
         depth = len(queue)
-        if depth > _COUNTERS.pipeline_queue_depth_peak:
-            _COUNTERS.pipeline_queue_depth_peak = depth
-        if depth >= self.queue_capacity:
-            # The queue hit its bound before the batch filled: the producer
-            # outran the configured batch cadence, so stall it with an
-            # inline drain rather than grow without limit.
-            _COUNTERS.pipeline_backpressure_stalls += 1
-            self._drain()
-        elif depth >= self.batch_size:
+        if depth >= self._drain_depth:
+            if depth >= self.queue_capacity:
+                # The queue hit its bound before the batch filled: the
+                # producer outran the configured batch cadence, so stall it
+                # with an inline drain rather than grow without limit.
+                _COUNTERS.pipeline_backpressure_stalls += 1
             self._drain()
 
     __call__ = ingest
@@ -181,39 +204,68 @@ class DetectionPlane:
     def _drain(self) -> None:
         queue = self._queue
         self.batches_drained += 1
-        _COUNTERS.pipeline_batches += 1
+        counters = _COUNTERS
+        counters.pipeline_batches += 1
+        depth = len(queue)
+        if depth > counters.pipeline_queue_depth_peak:
+            counters.pipeline_queue_depth_peak = depth
         resolve = self.tree.resolve
+        cache = self._verdict_cache
+        tree_epoch = self.tree.epoch
+        if tree_epoch != self._cache_epoch:
+            # A rule mutation invalidates every cached verdict at once: the
+            # epoch is part of the cache's identity, not of each key.
+            cache.clear()
+            self._cache_epoch = tree_epoch
+        probe = self.corroborator
+        per_batch_probe = probe is not None
+        cache_bound = self.verdict_cache_size
+        cache_get = cache.get
         walks: Dict = {}
-        verdict_memo: Dict[Tuple, Tuple[Verdict, ...]] = {}
+        walks_get = walks.get
+        apply_verdict = self._apply
         while queue:
             event = queue.popleft()
-            if not event.is_announcement:
+            if event.kind != ANNOUNCE:
                 continue
             self._last_event_time = event.delivered_at
             path = event.as_path
-            # The rule ladder inspects the whole path, so the memo key is
+            prefix = event.prefix
+            # The rule ladder inspects the whole path, so the cache key is
             # (prefix, path); the vantage only matters for single-hop paths
             # (the len-1 first-hop rule), so it joins the key only there —
-            # multi-hop repeats across vantage points stay memo hits.
+            # multi-hop repeats across vantage points stay cache hits.
+            # ``Prefix.ikey`` stands in for the prefix object: one int,
+            # unique per (version, value, length), hashed at C speed.
             if len(path) >= 2:
-                memo_key = (event.prefix, path)
+                memo_key = (prefix.ikey, path)
             else:
-                memo_key = (event.prefix, path, event.vantage_asn)
-            verdicts = verdict_memo.get(memo_key)
+                memo_key = (prefix.ikey, path, event.vantage_asn)
+            verdicts = cache_get(memo_key)
             if verdicts is None:
-                matches = walks.get(event.prefix)
+                matches = walks_get(prefix)
                 if matches is None:
-                    matches = resolve(event.prefix)
-                    walks[event.prefix] = matches
+                    matches = resolve(prefix)
+                    walks[prefix] = matches
                 verdicts = classify_batch_verdicts(
-                    matches, event.prefix, path, event.vantage_asn,
-                    probe=self.corroborator,
+                    matches, prefix, path, event.vantage_asn, probe=probe,
                 )
-                verdict_memo[memo_key] = verdicts
+                cache[memo_key] = verdicts
+                if len(cache) > cache_bound and not per_batch_probe:
+                    # FIFO eviction: dicts iterate in insertion order, so
+                    # the first key out is the oldest verdict in.
+                    del cache[next(iter(cache))]
+                    counters.verdict_cache_evictions += 1
             else:
-                _COUNTERS.pipeline_memo_hits += 1
+                counters.pipeline_memo_hits += 1
+                counters.verdict_cache_hits += 1
             for verdict in verdicts:
-                self._apply(verdict, event)
+                apply_verdict(verdict, event)
+        if per_batch_probe:
+            # A probe's answer is time-dependent, so probed verdicts only
+            # live for the batch that computed them (the original memo
+            # contract); steady-state caching is for the pure ladder.
+            cache.clear()
         self._maybe_prune()
         self._drain_notifier()
 

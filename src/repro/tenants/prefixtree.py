@@ -29,6 +29,12 @@ from repro.tenants.registry import TenantRule
 #: inside it (the sub-prefix case).
 Match = Tuple[TenantRule, bool]
 
+#: Shared empty resolve result.  Most announced prefixes in a real feed
+#: match no tenant at all, so the miss path returns this one list instead
+#: of allocating a fresh empty one per lookup.  Callers must treat resolve
+#: results as read-only (they already do: results are iterated or stored).
+_NO_MATCHES: List[Match] = []
+
 
 class PrefixTree:
     """Longest-match service over every tenant's monitored prefixes."""
@@ -39,6 +45,9 @@ class PrefixTree:
         #: to reject stale or out-of-order rule shipments loudly.
         self.epoch = 0
         self.num_rules = 0
+        #: Reusable covering-walk buffer: one per tree, cleared per resolve,
+        #: so lookups that match nothing allocate nothing at all.
+        self._scratch: List[List[TenantRule]] = []
         if registry is not None:
             self.insert_rules(registry.all_rules())
             registry.attach_tree(self)
@@ -93,9 +102,9 @@ class PrefixTree:
         is deterministic regardless of trie insertion order.
         """
         _COUNTERS.pipeline_trie_walks += 1
-        buckets = self._trie.covering_values(prefix)
+        buckets = self._trie.covering_values(prefix, into=self._scratch)
         if not buckets:
-            return []
+            return _NO_MATCHES
         per_tenant: Dict[str, Match] = {}
         # Least → most specific: later (more specific) buckets overwrite.
         for bucket in buckets:

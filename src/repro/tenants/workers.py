@@ -13,10 +13,19 @@ announcement is a single longest-match against the root trie; sub-prefix
 announcements inside a root land with it.  Roots are round-robined across
 workers in canonical order — deterministic for any worker count.
 
-The parent stays out of the parse hot path: it routes raw trace record
-lines by splitting out the prefix field (field 4 of the ``|``-separated
-dump format) with a string memo, and ships line batches down a pipe; each
-worker parses and runs its own :class:`~repro.tenants.pipeline.DetectionPlane`.
+The parent stays out of the parse hot path: it reads the trace file in
+**binary**, routes each raw record line by its prefix field (field 4 of
+the ``|``-separated dump format, extracted without decoding) with a bytes
+memo, and ships line batches down a pipe as
+:mod:`~repro.tenants.frames` ``BATCH`` frames — no pickle anywhere on the
+feed path.  Each worker receives its registry spec once, as a ``SPEC``
+frame with a per-frame interned string table, then parses events straight
+from the batch bytes into its own
+:class:`~repro.tenants.pipeline.DetectionPlane`.
+
+Malformed record lines (wrong field count, unparsable prefix field) are
+**dropped by the router** and counted in the ``events_malformed`` perf
+counter — a damaged feed line costs one counter bump, not the run.
 Batches carry a per-worker epoch stamp — the same loud-failure idiom as
 ``repro.shard``'s route bundles: a stale, duplicated, or reordered batch
 is a protocol bug and kills the run, never a silent wrong answer.
@@ -33,12 +42,34 @@ from repro.feeds.replay import TraceError, _FOOTER_TAG, _HEADER_TAG
 from repro.net.prefix import Prefix
 from repro.net.trie import PrefixTrie
 from repro.perf import COUNTERS as _COUNTERS, sample_memory
+from repro.tenants.frames import (
+    FRAME_BATCH,
+    FRAME_ERROR,
+    FRAME_FINISH,
+    FRAME_RESULT,
+    FRAME_SPEC,
+    FRAME_STOP,
+    decode_batch,
+    decode_error,
+    decode_frame,
+    decode_payload,
+    encode_batch,
+    encode_error,
+    encode_frame,
+    encode_payload,
+    send_frame,
+)
 from repro.tenants.pipeline import DetectionPlane, merged_alert_digest
 from repro.tenants.registry import TenantRegistry
 
 
 class TenantWorkerError(ReproError):
     """A detection worker died or broke the batch protocol."""
+
+
+#: Routing-memo sentinel: this prefix field failed to parse (malformed
+#: line); repeats of the same damaged field stay counted but cheap.
+_MALFORMED = -3
 
 
 # ---------------------------------------------------------------- partition
@@ -97,32 +128,60 @@ def iter_trace_lines(path: str) -> Iterable[str]:
             raise TraceError("truncated trace: no footer")
 
 
+_HEADER_BYTES = _HEADER_TAG.encode("utf-8")
+_FOOTER_BYTES = _FOOTER_TAG.encode("utf-8")
+
+
+def iter_trace_line_bytes(path: str) -> Iterable[bytes]:
+    """Binary twin of :func:`iter_trace_lines`: raw record lines as bytes.
+
+    The parallel plane's hot ingest path: lines read in binary route and
+    ship without ever materializing ``str`` objects in the parent.
+    """
+    with open(path, "rb") as handle:
+        first = handle.readline()
+        if not first.startswith(_HEADER_BYTES):
+            raise TraceError("not a trace file: missing header line")
+        sealed = False
+        for line in handle:
+            if line.startswith(_FOOTER_BYTES):
+                sealed = True
+                break
+            yield line.rstrip(b"\n")
+        if not sealed:
+            raise TraceError("truncated trace: no footer")
+
+
 # ------------------------------------------------------------------ worker
 
 
-def tenant_worker_main(worker_id: int, spec_rows: List[Tuple],
-                       batch_size: int, conn) -> None:
-    """Entry point of one detection worker process."""
+def tenant_worker_main(worker_id: int, batch_size: int, conn) -> None:
+    """Entry point of one detection worker process.
+
+    Speaks the :mod:`~repro.tenants.frames` protocol: a ``SPEC`` frame
+    builds the plane (it must arrive before any batch), ``BATCH`` frames
+    carry epoch-stamped raw trace lines, ``FINISH`` answers with a
+    ``RESULT`` payload frame, ``STOP`` exits; any failure answers with an
+    ``ERROR`` frame and dies.
+    """
     _COUNTERS.reset()
     perf_mark = _COUNTERS.as_dict()
     cpu_mark = time.process_time()
-    try:
-        registry = TenantRegistry.from_spec(spec_rows)
-        plane = DetectionPlane(registry, batch_size=batch_size)
-    except BaseException as exc:  # noqa: BLE001 - must report, then die
-        conn.send(("error", f"detect worker {worker_id} build failed: {exc!r}"))
-        conn.close()
-        return
+    plane: Optional[DetectionPlane] = None
     expected_epoch = 1
     while True:
         try:
-            request = conn.recv()
+            data = conn.recv_bytes()
         except EOFError:
             break
-        command = request[0]
         try:
-            if command == "batch":
-                epoch, lines = request[1], request[2]
+            kind, epoch, body = decode_frame(data)
+            if kind == FRAME_BATCH:
+                if plane is None:
+                    raise TenantWorkerError(
+                        f"detect worker {worker_id}: batch arrived before "
+                        "the registry spec"
+                    )
                 if epoch != expected_epoch:
                     raise TenantWorkerError(
                         f"detect worker {worker_id}: batch epoch {epoch} "
@@ -132,36 +191,41 @@ def tenant_worker_main(worker_id: int, spec_rows: List[Tuple],
                 expected_epoch += 1
                 _COUNTERS.detect_worker_batches += 1
                 ingest = plane.ingest
-                for line in lines:
-                    ingest(parse_event(line))
-            elif command == "finish":
+                for line in decode_batch(body):
+                    ingest(parse_event(line.decode("utf-8")))
+            elif kind == FRAME_SPEC:
+                registry = TenantRegistry.from_spec(decode_payload(body))
+                plane = DetectionPlane(registry, batch_size=batch_size)
+            elif kind == FRAME_FINISH:
+                if plane is None:
+                    raise TenantWorkerError(
+                        f"detect worker {worker_id}: finish arrived before "
+                        "the registry spec"
+                    )
                 plane.flush()
                 plane.prune_state(plane._last_event_time)
                 sample_memory()
-                conn.send(
-                    (
-                        "ok",
-                        {
-                            "worker": worker_id,
-                            "rows": plane.incident_rows(),
-                            "alerts": plane.total_alerts(),
-                            "events_ingested": plane.events_ingested,
-                            "batches": plane.batches_drained,
-                            "entries_pruned": plane.entries_pruned,
-                            "perf": _COUNTERS.delta_since(perf_mark),
-                            "cpu_seconds": time.process_time() - cpu_mark,
-                        },
-                    )
-                )
-            elif command == "stop":
+                payload = {
+                    "worker": worker_id,
+                    "rows": plane.incident_rows(),
+                    "alerts": plane.total_alerts(),
+                    "events_ingested": plane.events_ingested,
+                    "batches": plane.batches_drained,
+                    "entries_pruned": plane.entries_pruned,
+                    "perf": _COUNTERS.delta_since(perf_mark),
+                    "cpu_seconds": time.process_time() - cpu_mark,
+                }
+                send_frame(conn, encode_payload(FRAME_RESULT, 0, payload))
+            elif kind == FRAME_STOP:
                 break
             else:
                 raise TenantWorkerError(
-                    f"detect worker {worker_id}: unknown command {command!r}"
+                    f"detect worker {worker_id}: unknown frame kind "
+                    f"0x{kind:02x}"
                 )
         except BaseException as exc:  # noqa: BLE001 - report, then die
             try:
-                conn.send(("error", f"{exc!r}"))
+                send_frame(conn, encode_error(f"{exc!r}"))
             except (BrokenPipeError, OSError):
                 pass
             break
@@ -206,37 +270,50 @@ class ParallelDetectionPlane:
             raise ReproError("registry has no monitored prefixes to partition")
         self.roots = partition_roots(monitored)
         self._routing = assign_roots(self.roots, self.num_workers)
-        self._route_memo: Dict[str, Optional[int]] = {}
-        self._buffers: List[List[str]] = [[] for _ in range(self.num_workers)]
+        #: prefix field (bytes) → worker id, ``None`` (unrouted), or
+        #: :data:`_MALFORMED`.
+        self._route_memo: Dict[bytes, Optional[int]] = {}
+        self._buffers: List[List[bytes]] = [
+            [] for _ in range(self.num_workers)
+        ]
         self._epochs = [0] * self.num_workers
         self._conns: List = []
         self._processes: List = []
         self.events_routed = 0
         self.events_unrouted = 0
+        self.events_malformed = 0
         self.started = False
         self.finished = False
 
     # ----------------------------------------------------------- lifecycle
 
     def start(self) -> None:
-        """Partition the registry and fork the worker processes."""
+        """Fork the workers and ship each its registry-spec frame."""
         if self.started:
             return
         import multiprocessing
 
-        spec = self._worker_specs()
+        specs = self._worker_specs()
         context = multiprocessing.get_context("fork")
         for worker_id in range(self.num_workers):
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=tenant_worker_main,
-                args=(worker_id, spec[worker_id], self.batch_size, child_conn),
+                args=(worker_id, self.batch_size, child_conn),
                 daemon=True,
             )
             process.start()
             child_conn.close()
             self._conns.append(parent_conn)
             self._processes.append(process)
+        # The spec — tenant names, prefix strings, policy tuples — ships
+        # once per worker as an interned-string-table frame; every later
+        # shipment is raw batch bytes.
+        for worker_id in range(self.num_workers):
+            send_frame(
+                self._conns[worker_id],
+                encode_payload(FRAME_SPEC, 0, specs[worker_id]),
+            )
         self.started = True
 
     def _worker_specs(self) -> List[List[Tuple]]:
@@ -252,47 +329,74 @@ class ParallelDetectionPlane:
 
     # ------------------------------------------------------------- routing
 
-    def _worker_for(self, prefix_field: str) -> Optional[int]:
-        memo = self._route_memo
-        worker = memo.get(prefix_field, -2)
-        if worker != -2:
-            return worker
-        hit = self._routing.longest_match(Prefix.parse(prefix_field))
+    def _route_prefix(self, prefix_field: bytes) -> Optional[int]:
+        """Longest-match a never-seen prefix field; memoize the answer."""
+        try:
+            prefix = Prefix.parse(prefix_field.decode("ascii"))
+        except (ValueError, UnicodeDecodeError):
+            self._route_memo[prefix_field] = _MALFORMED
+            return _MALFORMED
+        hit = self._routing.longest_match(prefix)
         worker = None if hit is None else hit[1]
-        memo[prefix_field] = worker
+        self._route_memo[prefix_field] = worker
         return worker
 
-    def feed_lines(self, lines: Iterable[str]) -> None:
-        """Route record lines to their owning workers (batched shipments)."""
+    def feed_line_bytes(self, lines: Iterable[bytes]) -> None:
+        """Route raw record lines (bytes) to their owning workers.
+
+        The hot path: field 4 of the dump format is the announced prefix,
+        and routing needs nothing else — no decode, no parse, no pickle.
+        Lines with the wrong field count or an unparsable prefix field are
+        dropped and counted (``events_malformed``), not raised: one bad
+        line in a million-prefix feed must not kill the run.
+        """
         if not self.started:
             self.start()
         buffers = self._buffers
         limit = self.LINES_PER_SHIPMENT
+        memo_get = self._route_memo.get
+        counters = _COUNTERS
         for line in lines:
-            # Field 4 of the dump format is the announced prefix; routing
-            # needs nothing else, so skip the full parse in the parent.
-            prefix_field = line.split("|", 5)[4]
-            worker = self._worker_for(prefix_field)
+            # The dump format has exactly 8 fields (7 separators); count()
+            # validates that without splitting the whole line.
+            if line.count(b"|") != 7:
+                self.events_malformed += 1
+                counters.events_malformed += 1
+                continue
+            prefix_field = line.split(b"|", 5)[4]
+            worker = memo_get(prefix_field, -2)
+            if worker == -2:
+                worker = self._route_prefix(prefix_field)
             if worker is None:
                 # Covered by no monitored root: no tenant can match it.
                 self.events_unrouted += 1
                 continue
+            if worker == _MALFORMED:
+                self.events_malformed += 1
+                counters.events_malformed += 1
+                continue
             self.events_routed += 1
-            _COUNTERS.detect_events_routed += 1
+            counters.detect_events_routed += 1
             buffer = buffers[worker]
             buffer.append(line)
             if len(buffer) >= limit:
                 self._ship(worker)
 
+    def feed_lines(self, lines: Iterable[str]) -> None:
+        """Route record lines given as ``str`` (compat shim over bytes)."""
+        self.feed_line_bytes(line.encode("utf-8") for line in lines)
+
     def feed_trace(self, path: str) -> None:
-        self.feed_lines(iter_trace_lines(path))
+        self.feed_line_bytes(iter_trace_line_bytes(path))
 
     def _ship(self, worker: int) -> None:
         buffer = self._buffers[worker]
         if not buffer:
             return
         self._epochs[worker] += 1
-        self._conns[worker].send(("batch", self._epochs[worker], buffer))
+        send_frame(
+            self._conns[worker], encode_batch(self._epochs[worker], buffer)
+        )
         self._buffers[worker] = []
 
     # -------------------------------------------------------------- finish
@@ -305,25 +409,33 @@ class ParallelDetectionPlane:
 
             {"rows", "digest", "alerts", "cpu_seconds": [per worker],
              "critical_path_cpu", "events_routed", "events_unrouted",
-             "workers": [per-worker payloads]}
+             "events_malformed", "workers": [per-worker payloads]}
         """
         if self.finished:
             raise ReproError("parallel plane already finished")
         if not self.started:
             self.start()
+        finish_frame = encode_frame(FRAME_FINISH, 0)
         for worker in range(self.num_workers):
             self._ship(worker)
-            self._conns[worker].send(("finish",))
+            send_frame(self._conns[worker], finish_frame)
         payloads = []
         for worker in range(self.num_workers):
             try:
-                status, payload = self._conns[worker].recv()
+                data = self._conns[worker].recv_bytes()
             except EOFError:
                 raise TenantWorkerError(
                     f"detect worker {worker} died before reporting"
                 ) from None
-            if status != "ok":
-                raise TenantWorkerError(str(payload))
+            kind, _epoch, body = decode_frame(data)
+            if kind == FRAME_ERROR:
+                raise TenantWorkerError(decode_error(body))
+            if kind != FRAME_RESULT:
+                raise TenantWorkerError(
+                    f"detect worker {worker}: unexpected frame kind "
+                    f"0x{kind:02x} in reply to finish"
+                )
+            payload = decode_payload(body)
             payloads.append(payload)
             _COUNTERS.merge(payload["perf"])
         self.finished = True
@@ -341,13 +453,15 @@ class ParallelDetectionPlane:
             "critical_path_cpu": max(cpu) if cpu else 0.0,
             "events_routed": self.events_routed,
             "events_unrouted": self.events_unrouted,
+            "events_malformed": self.events_malformed,
             "workers": payloads,
         }
 
     def _shutdown(self) -> None:
+        stop_frame = encode_frame(FRAME_STOP, 0)
         for conn in self._conns:
             try:
-                conn.send(("stop",))
+                send_frame(conn, stop_frame)
             except (BrokenPipeError, OSError):
                 pass
             conn.close()

@@ -1,0 +1,192 @@
+"""Unit contracts of the flat array-of-struct prefix tree.
+
+``FlatPrefixTree`` must be a drop-in for the node-object ``PrefixTree``:
+same resolve semantics (most specific rule per tenant, sorted tenant
+order, per-bucket exact flags), same incremental mutation surface (epoch
+bump per batch, loud KeyError on unknown removal), plus the flat-specific
+contracts — epoch-stamped slot recycling and the ``tree_bytes`` gauge.
+Cross-implementation equivalence under randomized operation sequences is
+property-tested separately in ``test_flattree_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ArtemisConfig, OwnedPrefix
+from repro.net.prefix import Prefix
+from repro.perf import COUNTERS
+from repro.tenants import FlatPrefixTree, PrefixTree, TenantRegistry
+
+
+def small_registry():
+    registry = TenantRegistry()
+    registry.add_tenant(
+        "alpha",
+        ArtemisConfig(
+            [
+                OwnedPrefix("10.0.0.0/16", [65001]),
+                OwnedPrefix("10.0.1.0/24", [65001]),
+            ]
+        ),
+    )
+    registry.add_tenant(
+        "beta", ArtemisConfig([OwnedPrefix("10.0.0.0/23", [65002])])
+    )
+    return registry
+
+
+class TestResolveSemantics:
+    def test_exact_and_covering_matches(self):
+        tree = FlatPrefixTree(small_registry())
+        matches = tree.resolve(Prefix.parse("10.0.0.0/16"))
+        assert [(m[0].tenant, m[1]) for m in matches] == [("alpha", True)]
+        matches = tree.resolve(Prefix.parse("10.0.0.0/24"))
+        # Covered by alpha's /16 and beta's /23, exactly equal to neither.
+        assert [(m[0].tenant, m[1]) for m in matches] == [
+            ("alpha", False),
+            ("beta", False),
+        ]
+
+    def test_most_specific_rule_per_tenant_wins(self):
+        tree = FlatPrefixTree(small_registry())
+        matches = tree.resolve(Prefix.parse("10.0.1.0/24"))
+        by_tenant = {m[0].tenant: m for m in matches}
+        # Alpha monitors both the /16 and the /24; the /24 must win.
+        assert str(by_tenant["alpha"][0].prefix) == "10.0.1.0/24"
+        assert by_tenant["alpha"][1] is True
+
+    def test_results_sorted_by_tenant_name(self):
+        registry = TenantRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.add_tenant(
+                name, ArtemisConfig([OwnedPrefix("10.0.0.0/16", [65001])])
+            )
+        tree = FlatPrefixTree(registry)
+        matches = tree.resolve(Prefix.parse("10.0.0.0/24"))
+        assert [m[0].tenant for m in matches] == ["alpha", "mid", "zeta"]
+
+    def test_miss_returns_shared_empty_list(self):
+        tree = FlatPrefixTree(small_registry())
+        one = tree.resolve(Prefix.parse("192.168.0.0/24"))
+        two = tree.resolve(Prefix.parse("172.16.0.0/12"))
+        assert one == [] and one is two  # no per-miss allocation
+
+    def test_resolve_counts_trie_walks(self):
+        tree = FlatPrefixTree(small_registry())
+        COUNTERS.reset()
+        tree.resolve(Prefix.parse("10.0.0.0/24"))
+        tree.resolve(Prefix.parse("192.168.0.0/24"))
+        assert COUNTERS.pipeline_trie_walks == 2
+
+    def test_ipv6_full_length_prefix(self):
+        registry = TenantRegistry()
+        registry.add_tenant(
+            "v6", ArtemisConfig([OwnedPrefix("2001:db8::/32", [65001])])
+        )
+        tree = FlatPrefixTree(registry)
+        # A /128 probe exercises the deepest walk and the unsigned length
+        # column (128 does not fit a signed byte).
+        matches = tree.resolve(Prefix.parse("2001:db8::1/128"))
+        assert [(m[0].tenant, m[1]) for m in matches] == [("v6", False)]
+
+    def test_tenants_at_and_monitored_prefixes(self):
+        registry = small_registry()
+        flat = FlatPrefixTree(registry)
+        node = PrefixTree(registry)
+        assert flat.monitored_prefixes() == node.monitored_prefixes()
+        for prefix in flat.monitored_prefixes():
+            assert flat.tenants_at(prefix) == node.tenants_at(prefix)
+        assert flat.tenants_at(Prefix.parse("10.99.0.0/16")) == []
+
+
+class TestMutation:
+    def test_epoch_bumps_once_per_batch(self):
+        registry = small_registry()
+        tree = FlatPrefixTree(registry)
+        assert tree.epoch == 1  # one insert_rules batch at construction
+        registry.add_tenant(
+            "gamma", ArtemisConfig([OwnedPrefix("10.7.0.0/16", [65007])])
+        )
+        assert tree.epoch == 2
+        registry.remove_tenant("gamma")
+        assert tree.epoch == 3
+        assert tree.num_rules == 3
+
+    def test_remove_unknown_rule_is_loud(self):
+        registry = small_registry()
+        tree = FlatPrefixTree(registry)
+        victim = registry.rules_for("beta")
+        tree.remove_rules(victim)
+        with pytest.raises(KeyError, match="not present in the prefix tree"):
+            tree.remove_rules(victim)
+
+    def test_slots_recycled_across_epochs(self):
+        registry = small_registry()
+        tree = FlatPrefixTree(registry)
+        nodes_before = len(tree._left)
+        pids_before = len(tree._pid_head)
+        registry.add_tenant(
+            "churn", ArtemisConfig([OwnedPrefix("10.50.0.0/16", [65050])])
+        )
+        grown_nodes = len(tree._left)
+        grown_pids = len(tree._pid_head)
+        # Free at epoch E, re-add at a later epoch: the freed node/pid/row
+        # slots must be reused, not appended after.
+        for _ in range(3):
+            registry.remove_tenant("churn")
+            registry.add_tenant(
+                "churn", ArtemisConfig([OwnedPrefix("10.50.0.0/16", [65050])])
+            )
+        assert len(tree._left) == grown_nodes
+        assert len(tree._pid_head) == grown_pids
+        assert grown_nodes > nodes_before and grown_pids > pids_before
+
+    def test_slot_never_recycled_within_its_epoch(self):
+        tree = FlatPrefixTree()
+        # Freed at the current epoch: not yet reusable.
+        tree._free_pids.append((tree.epoch, 7))
+        assert tree._alloc(tree._free_pids) == -1
+        tree.epoch += 1
+        assert tree._alloc(tree._free_pids) == 7
+
+    def test_size_tracks_distinct_prefixes(self):
+        registry = small_registry()
+        tree = FlatPrefixTree(registry)
+        node = PrefixTree(registry)
+        assert len(tree) == len(node) == 3
+        registry.remove_tenant("alpha")
+        assert len(tree) == len(node) == 1
+
+
+class TestMemoryAccounting:
+    def test_nbytes_positive_and_refreshes_gauge(self):
+        COUNTERS.reset()
+        tree = FlatPrefixTree(small_registry())
+        assert tree.nbytes() > 0
+        assert COUNTERS.tree_bytes >= tree.nbytes()
+
+    def test_flat_layout_beats_node_objects_at_scale(self):
+        import sys
+
+        from repro.tenants.synth import build_synth_registry
+
+        origins = {Prefix.parse("10.0.0.0/24"): 65001}
+        registry = build_synth_registry(
+            origins, num_tenants=20, num_prefixes=5000
+        )
+        flat = FlatPrefixTree(registry)
+        node = PrefixTree(registry)
+        # Measure the node tree's storage: every _Node object, its children
+        # list, and each stored bucket list (rule/prefix objects excluded on
+        # both sides — they are registry-owned either way).
+        node_bytes = 0
+        stack = list(node._trie._roots.values())
+        while stack:
+            current = stack.pop()
+            node_bytes += sys.getsizeof(current)
+            node_bytes += sys.getsizeof(current.children)
+            if current.has_value:
+                node_bytes += sys.getsizeof(current.value)
+            stack.extend(c for c in current.children if c is not None)
+        assert flat.nbytes() * 3 <= node_bytes

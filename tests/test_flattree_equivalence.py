@@ -1,0 +1,105 @@
+"""Property test: the flat tree is observationally equal to the node tree.
+
+Same shape as ``test_classify_equivalence.py``: hypothesis drives
+randomized operation sequences — tenant onboarding, tenant retirement,
+resolve probes — through a ``PrefixTree`` and a ``FlatPrefixTree``
+attached to one shared registry, and every observable must agree at every
+step: resolve results (rule identity, exact flags, and order), stored
+size, epoch, rule count, monitored-prefix listing, and exact-tenant
+lookups.  Rules are interned per registry, so result equality is object
+identity — the strictest possible match.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ArtemisConfig, OwnedPrefix
+from repro.net.prefix import Prefix
+from repro.tenants import FlatPrefixTree, PrefixTree, TenantRegistry
+
+#: Deliberately nested monitored pool: overlaps exercise the
+#: most-specific-per-tenant overwrite and the exact flags.
+_POOL = [
+    "10.0.0.0/8",
+    "10.0.0.0/16",
+    "10.0.0.0/23",
+    "10.0.0.0/24",
+    "10.0.1.0/24",
+    "10.1.0.0/16",
+    "10.128.0.0/9",
+    "192.168.0.0/24",
+    "0.0.0.0/0",
+    "2001:db8::/32",
+    "2001:db8::/64",
+]
+
+_PROBES = [Prefix.parse(text) for text in _POOL] + [
+    Prefix.parse("10.0.0.0/25"),
+    Prefix.parse("10.0.0.128/25"),
+    Prefix.parse("10.2.0.0/16"),
+    Prefix.parse("11.0.0.0/8"),
+    Prefix.parse("192.168.0.1/32"),
+    Prefix.parse("172.16.0.0/12"),
+    Prefix.parse("2001:db8::1/128"),
+    Prefix.parse("2001:db9::/32"),
+]
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "readd"]),
+        st.integers(min_value=0, max_value=2 ** 16),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+def _config(seed: int) -> ArtemisConfig:
+    count = 1 + seed % 3
+    chosen = {(seed + i * 7) % len(_POOL) for i in range(count)}
+    entries = [
+        OwnedPrefix(_POOL[index], [65000 + seed % 50])
+        for index in sorted(chosen)
+    ]
+    return ArtemisConfig(entries)
+
+
+def _observe(tree, probe):
+    return [(id(rule), rule.tenant, exact) for rule, exact in tree.resolve(probe)]
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=_OPS)
+def test_flat_tree_equivalent_under_randomized_churn(ops):
+    registry = TenantRegistry()
+    node = PrefixTree()
+    flat = FlatPrefixTree()
+    registry.attach_tree(node)
+    registry.attach_tree(flat)
+    live = []
+    serial = 0
+    for kind, seed in ops:
+        if kind == "add" or (kind == "readd" and not live):
+            name = f"tenant-{serial:04d}"
+            serial += 1
+            registry.add_tenant(name, _config(seed))
+            live.append((name, seed))
+        elif kind == "remove" and live:
+            name, _seed = live.pop(seed % len(live))
+            registry.remove_tenant(name)
+        elif kind == "readd":
+            # Retire and immediately re-onboard: exercises free-list
+            # recycling against the epoch stamps.
+            index = seed % len(live)
+            name, tenant_seed = live[index]
+            registry.remove_tenant(name)
+            registry.add_tenant(name, _config(tenant_seed))
+        assert node.epoch == flat.epoch
+        assert node.num_rules == flat.num_rules
+        assert len(node) == len(flat)
+        for probe in _PROBES:
+            assert _observe(node, probe) == _observe(flat, probe), probe
+    assert node.monitored_prefixes() == flat.monitored_prefixes()
+    for prefix in node.monitored_prefixes():
+        assert node.tenants_at(prefix) == flat.tenants_at(prefix)

@@ -146,3 +146,22 @@ class TestGlobalWiring:
         assert text.startswith("perf counters")
         assert "events processed" in text
         assert "wall time (s)" in text
+
+    def test_design_catalogue_documents_every_counter(self):
+        """DESIGN.md's perf-counter catalogue must never drift: every
+        field and gauge on COUNTERS appears as `name` in the table."""
+        import os
+
+        design = os.path.join(
+            os.path.dirname(__file__), os.pardir, "DESIGN.md"
+        )
+        with open(design, encoding="utf-8") as handle:
+            text = handle.read()
+        missing = [
+            name
+            for name in FIELDS + GAUGES
+            if f"`{name}`" not in text
+        ]
+        assert not missing, (
+            f"perf counters missing from the DESIGN.md catalogue: {missing}"
+        )

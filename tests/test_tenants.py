@@ -41,6 +41,7 @@ from repro.tenants import (
     incident_rows,
     merged_alert_digest,
 )
+from repro.tenants import frames
 from repro.tenants.pipeline import classify_batch_verdicts
 from repro.tenants.synth import (
     baseline_services,
@@ -331,6 +332,78 @@ class TestDetectionPlane:
         assert COUNTERS.pipeline_memo_hits == 63
         assert COUNTERS.pipeline_batches == 1
         assert COUNTERS.pipeline_events_ingested == 64
+
+    def test_verdict_cache_survives_across_batches(self):
+        COUNTERS.reset()
+        plane = DetectionPlane(two_tenant_registry(), batch_size=8)
+        for i in range(32):
+            plane.ingest(
+                make_event(float(i), "10.0.0.0/23", (64600, 666), vantage=i)
+            )
+        plane.flush()
+        assert COUNTERS.pipeline_batches == 4
+        # One walk and one ladder run EVER; later batches hit the
+        # cross-batch cache, not just the per-batch memo.
+        assert COUNTERS.pipeline_trie_walks == 1
+        assert COUNTERS.verdict_cache_hits == 31
+        assert COUNTERS.pipeline_memo_hits == 31
+        assert COUNTERS.verdict_cache_evictions == 0
+
+    def test_verdict_cache_bounded_fifo_eviction(self):
+        COUNTERS.reset()
+        plane = DetectionPlane(
+            two_tenant_registry(), batch_size=4, verdict_cache_size=2
+        )
+        # Four distinct keys through a 2-entry cache: evictions must fire
+        # and the plane must still answer correctly.
+        for i in range(4):
+            plane.ingest(
+                make_event(float(i), "10.0.0.0/23", (64600, 700 + i))
+            )
+        plane.flush()
+        assert COUNTERS.verdict_cache_evictions == 2
+        assert plane.total_alerts() > 0
+
+    def test_verdict_cache_invalidated_on_rule_change(self):
+        COUNTERS.reset()
+        registry = two_tenant_registry()
+        plane = DetectionPlane(registry, batch_size=4)
+        event = make_event(1.0, "10.0.0.0/23", (64600, 666))
+        for i in range(4):
+            plane.ingest(event)
+        hits_before = COUNTERS.verdict_cache_hits
+        assert hits_before == 3
+        # A tenant change bumps the tree epoch: every cached verdict dies.
+        registry.add_tenant(
+            "late", ArtemisConfig([OwnedPrefix("10.9.0.0/16", [65009])])
+        )
+        assert plane.tree.epoch == plane._cache_epoch + 1
+        for i in range(4):
+            plane.ingest(event)
+        # The first post-change event recomputes (a fresh walk), the rest
+        # re-hit the rebuilt cache.
+        assert COUNTERS.pipeline_trie_walks == 2
+        assert COUNTERS.verdict_cache_hits == hits_before + 3
+
+    def test_verdict_cache_per_batch_with_corroborator(self):
+        COUNTERS.reset()
+        probes = []
+
+        def probe(prefix):
+            probes.append(prefix)
+            return True
+
+        plane = DetectionPlane(
+            two_tenant_registry(), batch_size=4, corroborator=probe
+        )
+        event = make_event(1.0, "10.0.0.0/23", (64600, 666))
+        for _ in range(8):
+            plane.ingest(event)
+        plane.flush()
+        # Two batches: the probe must be consulted once per batch (its
+        # answer is time-dependent), so the cache cannot span batches.
+        assert len(probes) == 2
+        assert COUNTERS.pipeline_trie_walks == 2
 
     def test_backpressure_stall_counter(self):
         COUNTERS.reset()
@@ -649,21 +722,73 @@ class TestParallelDetectionPlane:
         import multiprocessing
 
         trace = write_mini_trace(tmp_path / "mini.trace", rounds=2)
-        lines = list(iter_trace_lines(trace))
+        lines = [line.encode("utf-8") for line in iter_trace_lines(trace)]
         registry = worker_registry()
         parent_conn, child_conn = multiprocessing.Pipe()
         thread = threading.Thread(
             target=tenant_worker_main,
-            args=(0, registry.to_spec(), 32, child_conn),
+            args=(0, 32, child_conn),
             daemon=True,
         )
         thread.start()
+        parent_conn.send_bytes(
+            frames.encode_payload(frames.FRAME_SPEC, 0, registry.to_spec())
+        )
         # Epoch 2 first: a reordered/stale shipment must be rejected.
-        parent_conn.send(("batch", 2, lines))
-        status, payload = parent_conn.recv()
-        assert status == "error"
-        assert "epoch" in payload
+        parent_conn.send_bytes(frames.encode_batch(2, lines))
+        kind, _epoch, body = frames.decode_frame(parent_conn.recv_bytes())
+        assert kind == frames.FRAME_ERROR
+        assert "epoch" in frames.decode_error(body)
         thread.join(timeout=5.0)
+
+    def test_batch_before_spec_is_loud(self):
+        import multiprocessing
+
+        parent_conn, child_conn = multiprocessing.Pipe()
+        thread = threading.Thread(
+            target=tenant_worker_main, args=(0, 32, child_conn), daemon=True
+        )
+        thread.start()
+        parent_conn.send_bytes(frames.encode_batch(1, [b"A|s|c|1|x|1|0.0|0.0"]))
+        kind, _epoch, body = frames.decode_frame(parent_conn.recv_bytes())
+        assert kind == frames.FRAME_ERROR
+        assert "before the registry spec" in frames.decode_error(body)
+        thread.join(timeout=5.0)
+
+    def test_malformed_lines_dropped_and_counted(self, tmp_path):
+        COUNTERS.reset()
+        trace = write_mini_trace(tmp_path / "mini.trace", rounds=2)
+        good = list(iter_trace_lines(trace))
+        damaged = [
+            good[0],
+            "A|rv|col1|99",  # wrong field count: no prefix field at all
+            "A|rv|col1|99|not-a-prefix|99 100|1.0|1.0",  # unparsable prefix
+            good[1],
+            "",  # empty line
+            "A|rv|col1|99|not-a-prefix|99 100|2.0|2.0",  # repeat: memo path
+        ]
+        parallel = ParallelDetectionPlane(worker_registry(), num_workers=2)
+        parallel.feed_lines(damaged)
+        parallel.feed_lines(good[2:])
+        result = parallel.finish()
+        assert result["events_malformed"] == 4
+        assert COUNTERS.events_malformed == 4
+        # The well-formed lines still route and detect normally.
+        assert result["events_routed"] + result["events_unrouted"] == len(good)
+
+    def test_spec_frame_interned_once_then_raw_batches(self, tmp_path):
+        COUNTERS.reset()
+        trace = write_mini_trace(tmp_path / "mini.trace")
+        parallel = ParallelDetectionPlane(worker_registry(), num_workers=2)
+        parallel.feed_trace(trace)
+        result = parallel.finish()
+        assert result["events_malformed"] == 0
+        # Parent side: one SPEC per worker, plus batch/finish/stop frames.
+        # Workers each reply with one RESULT frame (counted in their own
+        # deltas, which merge back after the RESULT ships — so only the
+        # parent's sends are guaranteed visible here).
+        assert COUNTERS.frames_sent >= 2 * 3
+        assert COUNTERS.frames_bytes > 0
 
 
 # ------------------------------------------------------------------ digests
